@@ -1,0 +1,49 @@
+# SPATIAL reproduction — common workflows.
+
+GO ?= go
+
+.PHONY: all build vet test test-short race bench fuzz experiments experiments-quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/gateway/ ./internal/sensor/ ./internal/loadgen/ \
+		./internal/dashboard/ ./internal/service/ ./internal/core/ ./internal/audit/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz FuzzReadCSV -fuzztime 30s ./internal/dataset/
+	$(GO) test -fuzz FuzzUnmarshalModel -fuzztime 30s ./internal/ml/
+
+# Regenerate every paper table/figure (~15 min single-CPU).
+experiments:
+	$(GO) run ./cmd/spatial-bench -exp all -json results_full.json
+
+experiments-quick:
+	$(GO) run ./cmd/spatial-bench -exp all -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/falldetection
+	$(GO) run ./examples/netmonitor
+	$(GO) run ./examples/trustaudit
+	$(GO) run ./examples/federated
+	$(GO) run ./examples/fullstack
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,57 @@
+// Command spatial-dashboard runs the AI dashboard: the ingest API that AI
+// sensors publish to, plus the JSON query API and the HTML view for human
+// operators.
+//
+// Usage:
+//
+//	spatial-dashboard -addr 127.0.0.1:8088 -capacity 4096
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dashboard"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "spatial-dashboard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("spatial-dashboard", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8088", "listen address")
+	capacity := fs.Int("capacity", 4096, "readings kept per sensor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: dashboard.NewServer(dashboard.NewStore(*capacity)),
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("dashboard on http://%s (ingest at POST /api/readings)\n", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutCtx)
+}

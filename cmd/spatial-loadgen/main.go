@@ -1,0 +1,101 @@
+// Command spatial-loadgen is the JMeter-equivalent load driver used by the
+// capacity experiments: a thread group with a ramp-up period samples one
+// HTTP endpoint and prints the summary report plus the
+// response-times-over-active-threads series.
+//
+// Usage:
+//
+//	spatial-loadgen -url http://127.0.0.1:8100/shap/explain \
+//	  -method POST -body request.json -threads 100 -rampup 5s -iterations 2
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "spatial-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("spatial-loadgen", flag.ContinueOnError)
+	url := fs.String("url", "", "target URL (required)")
+	method := fs.String("method", http.MethodGet, "HTTP method")
+	bodyFile := fs.String("body", "", "file with the request body (optional)")
+	contentType := fs.String("content-type", "application/json", "Content-Type for requests with a body")
+	threads := fs.Int("threads", 10, "concurrent virtual users")
+	rampUp := fs.Duration("rampup", time.Second, "ramp-up period")
+	iterations := fs.Int("iterations", 5, "samples per thread (ignored when -duration is set)")
+	duration := fs.Duration("duration", 0, "run for a fixed duration instead of counting iterations")
+	timeout := fs.Duration("timeout", 2*time.Minute, "per-request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url == "" {
+		return fmt.Errorf("-url is required")
+	}
+	var body []byte
+	if *bodyFile != "" {
+		raw, err := os.ReadFile(*bodyFile)
+		if err != nil {
+			return fmt.Errorf("read body: %w", err)
+		}
+		body = raw
+	}
+	header := http.Header{}
+	if len(body) > 0 {
+		header.Set("Content-Type", *contentType)
+	}
+	sampler := &loadgen.HTTPSampler{
+		Method: *method,
+		URL:    *url,
+		Body:   body,
+		Header: header,
+		Client: &http.Client{Timeout: *timeout},
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	group := loadgen.ThreadGroup{Threads: *threads, RampUp: *rampUp}
+	if *duration > 0 {
+		group.Duration = *duration
+		fmt.Printf("%d threads, %v ramp-up, %v duration -> %s %s\n", *threads, *rampUp, *duration, *method, *url)
+	} else {
+		group.Iterations = *iterations
+		fmt.Printf("%d threads, %v ramp-up, %d iterations each -> %s %s\n", *threads, *rampUp, *iterations, *method, *url)
+	}
+	res, err := loadgen.Run(ctx, group, sampler)
+	if err != nil {
+		return err
+	}
+
+	s := res.Summarize()
+	fmt.Printf("\nSummary report\n")
+	fmt.Printf("  samples     %d\n", s.Count)
+	fmt.Printf("  errors      %d (%.1f%%)\n", s.Errors, s.ErrorRate*100)
+	fmt.Printf("  mean        %v\n", s.Mean.Round(time.Millisecond))
+	fmt.Printf("  min/max     %v / %v\n", s.Min.Round(time.Millisecond), s.Max.Round(time.Millisecond))
+	fmt.Printf("  p50/p90/p95/p99  %v / %v / %v / %v\n",
+		s.P50.Round(time.Millisecond), s.P90.Round(time.Millisecond),
+		s.P95.Round(time.Millisecond), s.P99.Round(time.Millisecond))
+	fmt.Printf("  throughput  %.2f req/s\n", s.Throughput)
+
+	fmt.Printf("\nResponse times over active threads\n")
+	fmt.Printf("%-14s %12s %8s\n", "activeThreads", "meanLatency", "samples")
+	for _, p := range res.OverActiveThreads() {
+		fmt.Printf("%-14d %12v %8d\n", p.ActiveThreads, p.MeanLatency.Round(time.Millisecond), p.Count)
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+// Command spatial-sensors instruments a deployed SPATIAL system with AI
+// sensors from the outside: it measures a served model's performance and
+// evasion resilience through the gateway on a fixed cadence and publishes
+// the readings to the AI dashboard — the paper's "AI sensors instrumented
+// as a concurrent process to monitor the behaviour of the overall
+// application".
+//
+// Usage:
+//
+//	spatial-sensors -gateway http://127.0.0.1:8100 \
+//	  -dashboard http://127.0.0.1:8088 \
+//	  -model m0001 -test holdout.csv -interval 5s -min-accuracy 0.9
+//
+// The test CSV must be in the dataset.WriteCSV format (feature columns
+// plus a final label column).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dashboard"
+	"repro/internal/dataset"
+	"repro/internal/ml"
+	"repro/internal/sensor"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "spatial-sensors:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("spatial-sensors", flag.ContinueOnError)
+	gatewayURL := fs.String("gateway", "http://127.0.0.1:8100", "SPATIAL gateway base URL")
+	dashboardURL := fs.String("dashboard", "http://127.0.0.1:8088", "AI dashboard base URL")
+	modelID := fs.String("model", "", "model id on the ML-pipeline service (required)")
+	testCSV := fs.String("test", "", "held-out labelled CSV for the performance sensor (required)")
+	interval := fs.Duration("interval", 5*time.Second, "sampling interval")
+	minAccuracy := fs.Float64("min-accuracy", 0.8, "alert threshold for the performance sensor")
+	eps := fs.Float64("eps", 0.1, "FGSM budget used by the resilience sensor")
+	apiKey := fs.String("apikey", "", "gateway API key (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelID == "" || *testCSV == "" {
+		return fmt.Errorf("-model and -test are required")
+	}
+
+	f, err := os.Open(*testCSV)
+	if err != nil {
+		return fmt.Errorf("open test set: %w", err)
+	}
+	test, err := dataset.ReadCSV(f, "holdout", nil)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("parse test set: %w", err)
+	}
+	if err := test.Validate(); err != nil {
+		return err
+	}
+
+	mlc := &service.Client{BaseURL: *gatewayURL + "/ml", APIKey: *apiKey}
+	resc := &service.Client{BaseURL: *gatewayURL + "/resilience", APIKey: *apiKey}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := mlc.WaitHealthy(ctx, 10*time.Second); err != nil {
+		return err
+	}
+
+	// Fetch the served model once so the resilience sensor can submit it
+	// inline to the evasion-impact endpoint.
+	model, err := mlc.FetchModel(ctx, *modelID)
+	if err != nil {
+		return err
+	}
+	blob, err := ml.MarshalModel(model)
+	if err != nil {
+		return err
+	}
+	wireTest := service.FromTable(test)
+
+	manager := sensor.NewManager(&dashboard.Client{BaseURL: *dashboardURL})
+	if err := manager.Register(&sensor.Sensor{
+		Name:     *modelID + "-accuracy",
+		Property: sensor.PropPerformance,
+		Interval: *interval,
+		Collector: sensor.CollectorFunc(func(ctx context.Context) (float64, map[string]float64, error) {
+			resp, err := mlc.Predict(ctx, service.PredictRequest{ModelID: *modelID, Instances: test.X})
+			if err != nil {
+				return 0, nil, err
+			}
+			correct := 0
+			for i, c := range resp.Classes {
+				if c == test.Y[i] {
+					correct++
+				}
+			}
+			return float64(correct) / float64(test.Len()), nil, nil
+		}),
+		Threshold: sensor.Threshold{Min: minAccuracy},
+	}); err != nil {
+		return err
+	}
+	if err := manager.Register(&sensor.Sensor{
+		Name:     *modelID + "-evasion-resilience",
+		Property: sensor.PropResilience,
+		Interval: *interval,
+		Collector: sensor.CollectorFunc(func(ctx context.Context) (float64, map[string]float64, error) {
+			rep, err := resc.EvasionImpact(ctx, service.EvasionImpactRequest{
+				Model: blob,
+				Clean: wireTest,
+				Eps:   *eps,
+			})
+			if err != nil {
+				return 0, nil, err
+			}
+			return 1 - rep.Impact, map[string]float64{
+				"impact":  rep.Impact,
+				"craftUs": rep.Complexity,
+			}, nil
+		}),
+	}); err != nil {
+		return err
+	}
+
+	if err := manager.Start(ctx); err != nil {
+		return err
+	}
+	fmt.Printf("sensors running every %v against %s; publishing to %s (ctrl-c to stop)\n",
+		*interval, *gatewayURL, *dashboardURL)
+	<-ctx.Done()
+	manager.Stop()
+	fmt.Println("sensors stopped")
+	return nil
+}

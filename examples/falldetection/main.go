@@ -1,0 +1,119 @@
+// Fall detection (use case 1): a medical e-calling application's fall
+// detector is poisoned by label flipping; SPATIAL's SHAP-dissimilarity
+// sensor detects the attack before accuracy collapses silently.
+//
+//	go run ./examples/falldetection
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/ml"
+	"repro/internal/xai"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Accelerometer windows from the e-calling app (synthetic stand-in
+	// for UniMiB SHAR; 9 ADL classes + 8 fall classes -> binary task).
+	data, err := datagen.UniMiBBinary(datagen.UniMiBConfig{Samples: 1200, Seed: 7})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(7))
+	train, test, err := data.StratifiedSplit(rng, 0.8)
+	if err != nil {
+		return err
+	}
+	scaler, err := dataset.FitScaler(train)
+	if err != nil {
+		return err
+	}
+	strain, stest := train.Clone(), test.Clone()
+	if err := scaler.Transform(strain); err != nil {
+		return err
+	}
+	if err := scaler.Transform(stest); err != nil {
+		return err
+	}
+
+	fmt.Println("training clean DNN fall detector...")
+	clean := ml.NewDNN(ml.DefaultDNNConfig())
+	if err := clean.Fit(strain); err != nil {
+		return err
+	}
+	cleanMetrics, err := ml.Evaluate(clean, stest)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("clean model: accuracy %.1f%%, fall recall %.1f%%\n",
+		cleanMetrics.Accuracy*100, cleanMetrics.PerClass[1].Recall*100)
+
+	// An attacker flips 30% of the training labels.
+	fmt.Println("\nattacker flips 30% of training labels; model is retrained...")
+	poisonedTrain, err := attack.LabelFlip(strain, 0.30, 13)
+	if err != nil {
+		return err
+	}
+	poisoned := ml.NewDNN(ml.DefaultDNNConfig())
+	if err := poisoned.Fit(poisonedTrain); err != nil {
+		return err
+	}
+	poisonedMetrics, err := ml.Evaluate(poisoned, stest)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("poisoned model: accuracy %.1f%%, fall recall %.1f%%\n",
+		poisonedMetrics.Accuracy*100, poisonedMetrics.PerClass[1].Recall*100)
+
+	// SPATIAL's detector: similar falls should have similar SHAP
+	// explanations; poisoning tears that structure apart (Fig 6a-iv).
+	fmt.Println("\ncomputing SHAP-dissimilarity indicator (k=5 neighbours)...")
+	dissim := func(model ml.Classifier) (float64, error) {
+		var falls [][]float64
+		for i, y := range stest.Y {
+			if y == 1 {
+				falls = append(falls, stest.X[i])
+			}
+			if len(falls) == 16 {
+				break
+			}
+		}
+		explainer := &xai.KernelSHAP{Model: model, Background: strain.X[:5], Samples: 256, Seed: 1}
+		explanations := make([][]float64, len(falls))
+		for i, x := range falls {
+			e, err := explainer.Explain(x, 1)
+			if err != nil {
+				return 0, err
+			}
+			explanations[i] = e
+		}
+		return xai.Dissimilarity(falls, explanations, 5)
+	}
+	cleanD, err := dissim(clean)
+	if err != nil {
+		return err
+	}
+	poisonedD, err := dissim(poisoned)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  clean model:    %.4f\n", cleanD)
+	fmt.Printf("  poisoned model: %.4f\n", poisonedD)
+	if poisonedD > cleanD {
+		fmt.Println("  -> dissimilarity rose: poisoning detected; operator should trigger label sanitization")
+	} else {
+		fmt.Println("  -> no rise detected at this rate")
+	}
+	return nil
+}

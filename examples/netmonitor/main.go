@@ -1,0 +1,128 @@
+// Network activity monitoring (use case 2): a traffic classifier is
+// attacked with white-box FGSM; SPATIAL quantifies each model's resilience
+// with the impact and complexity metrics and shows how the SHAP feature
+// ranking shifts under attack.
+//
+//	go run ./examples/netmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/ml"
+	"repro/internal/resilience"
+	"repro/internal/xai"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Flow traces captured by the monitoring application (synthetic
+	// stand-in; 21 features over duration/protocol/uplink/downlink/speed).
+	table, flows, err := datagen.NetTraffic(datagen.DefaultNetTrafficConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("captured %d flows (%d packets in the first trace)\n", len(flows), len(flows[0].Packets))
+
+	rng := rand.New(rand.NewSource(3))
+	train, test, err := table.StratifiedSplit(rng, 0.73)
+	if err != nil {
+		return err
+	}
+	scaler, err := dataset.FitMinMax(train)
+	if err != nil {
+		return err
+	}
+	if err := scaler.Transform(train); err != nil {
+		return err
+	}
+	if err := scaler.Transform(test); err != nil {
+		return err
+	}
+
+	// Train the three model families of the use case.
+	models := map[string]ml.Classifier{}
+	for _, algo := range []string{"nn", "lgbm", "xgb"} {
+		m, err := ml.NewByName(algo, 1)
+		if err != nil {
+			return err
+		}
+		if err := m.Fit(train); err != nil {
+			return err
+		}
+		metrics, err := ml.Evaluate(m, test)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-5s baseline accuracy %.1f%%\n", algo, metrics.Accuracy*100)
+		models[algo] = m
+	}
+
+	// White-box FGSM on the NN; transfer to the tree ensembles.
+	nn := models["nn"].(ml.GradientClassifier)
+	fgsm, err := attack.FGSM(nn, test, 0.10)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nFGSM eps=0.10 crafted %d adversarial flows (%.1f us/sample)\n",
+		fgsm.Adversarial.Len(), float64(fgsm.CraftCost.Nanoseconds())/1e3)
+
+	fmt.Printf("%-5s %10s %10s %8s %12s\n", "model", "clean", "attacked", "impact", "complexity")
+	for _, algo := range []string{"nn", "lgbm", "xgb"} {
+		rep, err := resilience.Evasion(models[algo], test, fgsm.Adversarial, fgsm.CraftCost)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-5s %9.1f%% %9.1f%% %7.1f%% %9.2fus\n",
+			algo, rep.BaselineAccuracy*100, rep.AttackedAccuracy*100, rep.Impact*100, rep.Complexity)
+	}
+
+	// How the SHAP story changes under attack (Fig 7a/b).
+	explainer := &xai.KernelSHAP{Model: models["nn"], Background: train.X[:6], Samples: 384, Seed: 1}
+	rank := func(tb *dataset.Table) ([]string, error) {
+		var expl [][]float64
+		for i, y := range tb.Y {
+			if y != 0 { // web class, as in the paper
+				continue
+			}
+			e, err := explainer.Explain(tb.X[i], 0)
+			if err != nil {
+				return nil, err
+			}
+			expl = append(expl, e)
+			if len(expl) == 12 {
+				break
+			}
+		}
+		order, _ := xai.FeatureImportance(expl)
+		names := datagen.NetFeatureNames()
+		top := make([]string, 0, 5)
+		for _, j := range order[:5] {
+			top = append(top, names[j])
+		}
+		return top, nil
+	}
+	benignTop, err := rank(test)
+	if err != nil {
+		return err
+	}
+	attackedTop, err := rank(fgsm.Adversarial)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\ntop-5 SHAP features for the web class:")
+	fmt.Printf("  benign:   %v\n", benignTop)
+	fmt.Printf("  attacked: %v\n", attackedTop)
+	fmt.Println("  -> a shifted ranking on live traffic is the dashboard's cue that inputs are being perturbed")
+	return nil
+}

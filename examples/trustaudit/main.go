@@ -1,0 +1,148 @@
+// Trust audit: the remaining trustworthy properties SPATIAL gauges —
+// fairness on a loan model, privacy leakage via membership inference (and
+// its DP mitigation), confidentiality via model stealing, and the
+// corrective actions an operator applies after a poisoning alert.
+//
+//	go run ./examples/trustaudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/defense"
+	"repro/internal/fairness"
+	"repro/internal/ml"
+	"repro/internal/privacy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// --- Fairness: a loan model trained on biased history -------------
+	fmt.Println("== fairness: loan approval ==")
+	loans, _, err := datagen.Loan(datagen.DefaultLoanConfig())
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(1))
+	ltrain, ltest, err := loans.StratifiedSplit(rng, 0.8)
+	if err != nil {
+		return err
+	}
+	loanModel := ml.NewTree(ml.DefaultTreeConfig())
+	if err := loanModel.Fit(ltrain); err != nil {
+		return err
+	}
+	pred := ml.PredictBatch(loanModel, ltest)
+	group := make([]int, ltest.Len())
+	for i, row := range ltest.X {
+		group[i] = int(row[datagen.LoanGroupFeature])
+	}
+	fairRep, err := fairness.Evaluate(pred, ltest.Y, group, 1, [2]string{"groupA", "groupB"})
+	if err != nil {
+		return err
+	}
+	for _, g := range fairRep.Groups {
+		fmt.Printf("  %-8s n=%3d approval=%.1f%% tpr=%.1f%%\n", g.Group, g.N, g.PositiveRate*100, g.TPR*100)
+	}
+	fmt.Printf("  demographic parity diff %.2f, disparate impact %.2f -> fairness score %.2f\n",
+		fairRep.DemographicParityDiff, fairRep.DisparateImpactRatio, fairness.Score(fairRep))
+
+	// --- Privacy: membership inference, then DP training --------------
+	fmt.Println("\n== privacy: membership inference ==")
+	ptrain, ptest, err := loans.StratifiedSplit(rng, 0.5)
+	if err != nil {
+		return err
+	}
+	overfit := ml.NewTree(ml.TreeConfig{MaxDepth: 0, MinLeaf: 1, Seed: 1})
+	if err := overfit.Fit(ptrain); err != nil {
+		return err
+	}
+	leak, err := privacy.MembershipInference(overfit, ptrain, ptest)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  overfit tree:  advantage %.2f (privacy score %.2f)\n", leak.Advantage, privacy.PrivacyScore(leak.Advantage))
+
+	dpCfg := privacy.DefaultDPLogRegConfig()
+	dp := privacy.NewDPLogReg(dpCfg)
+	if err := dp.Fit(ptrain); err != nil {
+		return err
+	}
+	dpLeak, err := privacy.MembershipInference(dp, ptrain, ptest)
+	if err != nil {
+		return err
+	}
+	eps, err := dp.Epsilon(1e-5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  dp-lr:         advantage %.2f (privacy score %.2f, approx epsilon %.1f)\n",
+		dpLeak.Advantage, privacy.PrivacyScore(dpLeak.Advantage), eps)
+
+	// --- Confidentiality: model stealing over the prediction API ------
+	fmt.Println("\n== confidentiality: model extraction ==")
+	queries, err := attack.UniformQueries(ltrain.X, 3000, 2)
+	if err != nil {
+		return err
+	}
+	stolen, err := attack.StealModel(loanModel, ml.NewTree(ml.DefaultTreeConfig()), queries,
+		ltrain.FeatureNames, ltrain.ClassNames, ltest.X)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  surrogate fidelity %.1f%% after %d queries — rate limiting at the gateway is the mitigation\n",
+		stolen.Fidelity*100, stolen.Queries)
+
+	// --- Corrective action: label sanitization after a poisoning alert -
+	// kNN sanitization needs commensurable feature scales, so the audit
+	// runs it in standardized space.
+	fmt.Println("\n== corrective action: label sanitization ==")
+	scaler, err := dataset.FitScaler(ltrain)
+	if err != nil {
+		return err
+	}
+	strain, stest := ltrain.Clone(), ltest.Clone()
+	if err := scaler.Transform(strain); err != nil {
+		return err
+	}
+	if err := scaler.Transform(stest); err != nil {
+		return err
+	}
+	ltest = stest
+	poisoned, err := attack.LabelFlip(strain, 0.25, 5)
+	if err != nil {
+		return err
+	}
+	accOf := func(tr *ml.Tree) float64 {
+		m, err := ml.Evaluate(tr, ltest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m.Accuracy
+	}
+	dirtyModel := ml.NewTree(ml.DefaultTreeConfig())
+	if err := dirtyModel.Fit(poisoned); err != nil {
+		return err
+	}
+	sanitized, rep, err := defense.SanitizeLabels(poisoned, 9, defense.Relabel)
+	if err != nil {
+		return err
+	}
+	repairedModel := ml.NewTree(ml.DefaultTreeConfig())
+	if err := repairedModel.Fit(sanitized); err != nil {
+		return err
+	}
+	fmt.Printf("  poisoned model accuracy  %.1f%%\n", accOf(dirtyModel)*100)
+	fmt.Printf("  sanitized model accuracy %.1f%% (%d labels repaired)\n", accOf(repairedModel)*100, rep.Relabeled)
+	return nil
+}

@@ -1,0 +1,97 @@
+// Package attack implements the adversarial perturbations the paper
+// injects into the two use cases: training-set poisoning (random label
+// flipping, targeted label flipping, random label swapping, and synthetic-
+// sample poisoning standing in for the CTGAN attack) and FGSM evasion.
+//
+// All attacks are deterministic given a seed and operate on copies unless
+// documented otherwise, so experiments can sweep poison rates from one
+// clean dataset.
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// validateRate checks a poisoning rate in [0, 1].
+func validateRate(rate float64) error {
+	if rate < 0 || rate > 1 {
+		return fmt.Errorf("attack: rate %v outside [0,1]", rate)
+	}
+	return nil
+}
+
+// LabelFlip returns a copy of t in which a fraction rate of the samples
+// have their label replaced by a different class chosen uniformly at
+// random — the black-box poisoning attack of use case 1.
+func LabelFlip(t *dataset.Table, rate float64, seed int64) (*dataset.Table, error) {
+	if err := validateRate(rate); err != nil {
+		return nil, err
+	}
+	if t.NumClasses() < 2 {
+		return nil, fmt.Errorf("attack: label flip needs >= 2 classes")
+	}
+	out := t.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	n := out.Len()
+	count := int(rate * float64(n))
+	for _, i := range rng.Perm(n)[:count] {
+		old := out.Y[i]
+		nw := rng.Intn(t.NumClasses() - 1)
+		if nw >= old {
+			nw++
+		}
+		out.Y[i] = nw
+	}
+	return out, nil
+}
+
+// TargetedFlip returns a copy of t in which a fraction rate of the samples
+// NOT already in class target have their label flipped to target — the
+// "target label flipping" attack of use case 2.
+func TargetedFlip(t *dataset.Table, rate float64, target int, seed int64) (*dataset.Table, error) {
+	if err := validateRate(rate); err != nil {
+		return nil, err
+	}
+	if target < 0 || target >= t.NumClasses() {
+		return nil, fmt.Errorf("attack: target class %d out of range", target)
+	}
+	out := t.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	var candidates []int
+	for i, y := range out.Y {
+		if y != target {
+			candidates = append(candidates, i)
+		}
+	}
+	rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+	count := int(rate * float64(out.Len()))
+	if count > len(candidates) {
+		count = len(candidates)
+	}
+	for _, i := range candidates[:count] {
+		out.Y[i] = target
+	}
+	return out, nil
+}
+
+// RandomSwap returns a copy of t in which pairs of samples have their
+// labels exchanged until a fraction rate of the dataset has been touched —
+// the "random swapping labels" attack of use case 2.
+func RandomSwap(t *dataset.Table, rate float64, seed int64) (*dataset.Table, error) {
+	if err := validateRate(rate); err != nil {
+		return nil, err
+	}
+	out := t.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	n := out.Len()
+	pairs := int(rate * float64(n) / 2)
+	perm := rng.Perm(n)
+	for p := 0; p < pairs; p++ {
+		a, b := perm[2*p], perm[2*p+1]
+		out.Y[a], out.Y[b] = out.Y[b], out.Y[a]
+	}
+	return out, nil
+}

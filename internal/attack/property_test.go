@@ -1,0 +1,92 @@
+package attack
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestLabelFlipProperties: for random rates, the flip count is exact, no
+// feature value changes, and every flipped label differs from the
+// original.
+func TestLabelFlipProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	tb := toyTable(t, 150, 4)
+	f := func() bool {
+		rate := rng.Float64()
+		seed := rng.Int63()
+		out, err := LabelFlip(tb, rate, seed)
+		if err != nil {
+			return false
+		}
+		flips := 0
+		for i := range tb.Y {
+			for j := range tb.X[i] {
+				if out.X[i][j] != tb.X[i][j] {
+					return false // features must be untouched
+				}
+			}
+			if out.Y[i] != tb.Y[i] {
+				flips++
+			}
+		}
+		return flips == int(rate*float64(tb.Len()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomSwapPreservesLabelMultiset: swapping never changes the label
+// histogram, for any rate and seed.
+func TestRandomSwapPreservesLabelMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	tb := toyTable(t, 120, 5)
+	want := append([]int(nil), tb.Y...)
+	sort.Ints(want)
+	f := func() bool {
+		out, err := RandomSwap(tb, rng.Float64(), rng.Int63())
+		if err != nil {
+			return false
+		}
+		got := append([]int(nil), out.Y...)
+		sort.Ints(got)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTargetedFlipOnlyAddsTarget: for random rates, targeted flipping
+// never decreases the target-class count and never touches target-class
+// samples.
+func TestTargetedFlipOnlyAddsTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	tb := toyTable(t, 90, 3)
+	f := func() bool {
+		target := rng.Intn(3)
+		out, err := TargetedFlip(tb, rng.Float64(), target, rng.Int63())
+		if err != nil {
+			return false
+		}
+		for i := range tb.Y {
+			if tb.Y[i] == target && out.Y[i] != target {
+				return false
+			}
+			if out.Y[i] != tb.Y[i] && out.Y[i] != target {
+				return false
+			}
+		}
+		return out.ClassCounts()[target] >= tb.ClassCounts()[target]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

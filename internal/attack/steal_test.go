@@ -1,0 +1,86 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/ml"
+)
+
+func TestStealModelHighFidelityWithManyQueries(t *testing.T) {
+	data := toyTable(t, 400, 2)
+	victim := ml.NewTree(ml.DefaultTreeConfig())
+	if err := victim.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	queries, err := UniformQueries(data.X, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := StealModel(victim, ml.NewTree(ml.DefaultTreeConfig()), queries, data.FeatureNames, data.ClassNames, data.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fidelity < 0.95 {
+		t.Fatalf("extraction fidelity %.3f < 0.95", res.Fidelity)
+	}
+	if res.Queries != 2000 {
+		t.Fatalf("queries %d", res.Queries)
+	}
+}
+
+func TestStealModelFidelityGrowsWithQueryBudget(t *testing.T) {
+	data := toyTable(t, 400, 3)
+	victim := ml.NewForest(ml.ForestConfig{Trees: 10, MaxFeatures: -1, MinLeaf: 1, Seed: 1})
+	if err := victim.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	fidelityAt := func(n int) float64 {
+		queries, err := UniformQueries(data.X, n, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := StealModel(victim, ml.NewTree(ml.DefaultTreeConfig()), queries, data.FeatureNames, data.ClassNames, data.X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Fidelity
+	}
+	small := fidelityAt(20)
+	large := fidelityAt(2000)
+	if large <= small {
+		t.Fatalf("fidelity should grow with query budget: %.3f -> %.3f", small, large)
+	}
+}
+
+func TestStealModelValidation(t *testing.T) {
+	data := toyTable(t, 50, 2)
+	victim := ml.NewTree(ml.DefaultTreeConfig())
+	if err := victim.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StealModel(nil, victim, data.X, data.FeatureNames, data.ClassNames, data.X); err == nil {
+		t.Fatal("expected nil-victim error")
+	}
+	if _, err := StealModel(victim, ml.NewTree(ml.DefaultTreeConfig()), nil, data.FeatureNames, data.ClassNames, data.X); err == nil {
+		t.Fatal("expected no-queries error")
+	}
+	if _, err := StealModel(victim, ml.NewTree(ml.DefaultTreeConfig()), data.X, data.FeatureNames, data.ClassNames, nil); err == nil {
+		t.Fatal("expected no-eval error")
+	}
+}
+
+func TestUniformQueriesStayInBox(t *testing.T) {
+	ref := [][]float64{{0, 10}, {1, 20}}
+	queries, err := UniformQueries(ref, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		if q[0] < 0 || q[0] > 1 || q[1] < 10 || q[1] > 20 {
+			t.Fatalf("query %v outside reference box", q)
+		}
+	}
+	if _, err := UniformQueries(nil, 5, 1); err == nil {
+		t.Fatal("expected empty-reference error")
+	}
+}

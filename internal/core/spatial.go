@@ -1,0 +1,241 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/dashboard"
+	"repro/internal/dataset"
+	"repro/internal/gateway"
+	"repro/internal/ml"
+	"repro/internal/sensor"
+	"repro/internal/service"
+)
+
+// Options parameterizes a SPATIAL deployment.
+type Options struct {
+	// APIKeys enables gateway authentication when non-empty.
+	APIKeys []string
+	// RatePerSecond/Burst configure gateway rate limiting (0 = off).
+	RatePerSecond float64
+	Burst         int
+	// HealthInterval is the gateway's upstream health-check period.
+	HealthInterval time.Duration
+	// StoreCapacity bounds the dashboard's per-sensor history.
+	StoreCapacity int
+}
+
+// System is a fully assembled SPATIAL deployment: the metric
+// micro-services, the API gateway fronting them, the AI dashboard, and a
+// sensor manager publishing into the dashboard store.
+type System struct {
+	ML         *service.MLService
+	SHAP       *service.SHAPService
+	LIME       *service.LIMEService
+	Occlusion  *service.OcclusionService
+	Resilience *service.ResilienceService
+	Fairness   *service.FairnessService
+	Privacy    *service.PrivacyService
+	Drift      *service.DriftService
+
+	Gateway   *gateway.Gateway
+	Dashboard *dashboard.Server
+	Sensors   *sensor.Manager
+
+	mu       sync.Mutex
+	servers  []*http.Server
+	deployed bool
+
+	gatewayURL   string
+	dashboardURL string
+}
+
+// NewSystem builds the system in-process. Call DeployLocal to expose it
+// over loopback TCP, or use the handlers directly in tests.
+func NewSystem(opts Options) *System {
+	store := dashboard.NewStore(opts.StoreCapacity)
+	sys := &System{
+		ML:         service.NewMLService(),
+		SHAP:       service.NewSHAPService(),
+		LIME:       service.NewLIMEService(),
+		Occlusion:  service.NewOcclusionService(),
+		Resilience: service.NewResilienceService(),
+		Fairness:   service.NewFairnessService(),
+		Privacy:    service.NewPrivacyService(),
+		Drift:      service.NewDriftService(),
+		Dashboard:  dashboard.NewServer(store),
+		Gateway: gateway.New(gateway.Config{
+			APIKeys:        opts.APIKeys,
+			RatePerSecond:  opts.RatePerSecond,
+			Burst:          opts.Burst,
+			HealthInterval: opts.HealthInterval,
+		}),
+	}
+	sys.Sensors = sensor.NewManager(dashboard.StoreSink{Store: store})
+	return sys
+}
+
+// DeployLocal binds every micro-service, the gateway, and the dashboard to
+// loopback listeners, registers the gateway routes, and starts the
+// gateway's health checker. It returns the gateway and dashboard base
+// URLs.
+func (s *System) DeployLocal(ctx context.Context) (gatewayURL, dashboardURL string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.deployed {
+		return s.gatewayURL, s.dashboardURL, nil
+	}
+
+	type svc struct {
+		prefix  string
+		handler http.Handler
+	}
+	services := []svc{
+		{"/ml", s.ML},
+		{"/shap", s.SHAP},
+		{"/lime", s.LIME},
+		{"/occlusion", s.Occlusion},
+		{"/resilience", s.Resilience},
+		{"/fairness", s.Fairness},
+		{"/privacy", s.Privacy},
+		{"/drift", s.Drift},
+	}
+	for _, sv := range services {
+		url, err := s.listenAndServeLocked(sv.handler)
+		if err != nil {
+			s.shutdownLocked(ctx)
+			return "", "", fmt.Errorf("deploy %s: %w", sv.prefix, err)
+		}
+		if err := s.Gateway.AddRoute(sv.prefix, gateway.RoundRobin, url); err != nil {
+			s.shutdownLocked(ctx)
+			return "", "", fmt.Errorf("route %s: %w", sv.prefix, err)
+		}
+	}
+
+	gatewayURL, err = s.listenAndServeLocked(s.Gateway)
+	if err != nil {
+		s.shutdownLocked(ctx)
+		return "", "", fmt.Errorf("deploy gateway: %w", err)
+	}
+	dashboardURL, err = s.listenAndServeLocked(s.Dashboard)
+	if err != nil {
+		s.shutdownLocked(ctx)
+		return "", "", fmt.Errorf("deploy dashboard: %w", err)
+	}
+	s.Gateway.Start()
+	s.deployed = true
+	s.gatewayURL, s.dashboardURL = gatewayURL, dashboardURL
+	return gatewayURL, dashboardURL, nil
+}
+
+// listenAndServeLocked starts an HTTP server on a fresh loopback port.
+func (s *System) listenAndServeLocked(h http.Handler) (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: h}
+	s.servers = append(s.servers, srv)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// Serve exits on Shutdown; anything else is logged by the
+			// default error logger inside http.Server.
+			_ = err
+		}
+	}()
+	return "http://" + ln.Addr().String(), nil
+}
+
+// ServiceClient returns a typed client for one gateway route (e.g. "/shap").
+func (s *System) ServiceClient(prefix, apiKey string) *service.Client {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &service.Client{BaseURL: s.gatewayURL + prefix, APIKey: apiKey}
+}
+
+// GatewayURL returns the deployed gateway base URL ("" before DeployLocal).
+func (s *System) GatewayURL() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gatewayURL
+}
+
+// DashboardURL returns the deployed dashboard base URL.
+func (s *System) DashboardURL() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dashboardURL
+}
+
+// DeployModel registers a trained model with the system's ML-pipeline
+// service and instruments a performance sensor over the held-out table —
+// the deploy→monitor tail of the paper's pipeline (Fig. 4). The sensor
+// alerts when accuracy falls below minAccuracy.
+func (s *System) DeployModel(name string, model ml.Classifier, holdout *dataset.Table, interval time.Duration, minAccuracy float64) (string, error) {
+	if model == nil || model.NumClasses() == 0 {
+		return "", fmt.Errorf("core: cannot deploy an untrained model")
+	}
+	metrics, err := ml.Evaluate(model, holdout)
+	if err != nil {
+		return "", fmt.Errorf("core: evaluate before deploy: %w", err)
+	}
+	id, err := s.ML.StoreModel(model.Name(), model, metrics)
+	if err != nil {
+		return "", err
+	}
+	err = s.Sensors.Register(&sensor.Sensor{
+		Name:     name + "-accuracy",
+		Property: sensor.PropPerformance,
+		Interval: interval,
+		Collector: sensor.CollectorFunc(func(context.Context) (float64, map[string]float64, error) {
+			m, err := ml.Evaluate(model, holdout)
+			if err != nil {
+				return 0, nil, err
+			}
+			return m.Accuracy, map[string]float64{"f1": m.F1}, nil
+		}),
+		Threshold: sensor.Threshold{Min: &minAccuracy},
+	})
+	if err != nil {
+		return "", fmt.Errorf("core: register deploy sensor: %w", err)
+	}
+	return id, nil
+}
+
+// TrustReport aggregates the latest reading of every registered sensor.
+func (s *System) TrustReport(weights TrustWeights) (TrustReport, error) {
+	var readings []sensor.Reading
+	for _, name := range s.Sensors.Names() {
+		if r, ok := s.Sensors.Last(name); ok {
+			readings = append(readings, r)
+		}
+	}
+	return Trust(readings, weights)
+}
+
+// Shutdown stops sensors, the gateway health checker, and all HTTP
+// servers.
+func (s *System) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shutdownLocked(ctx)
+}
+
+func (s *System) shutdownLocked(ctx context.Context) error {
+	s.Sensors.Stop()
+	s.Gateway.Stop()
+	var firstErr error
+	for _, srv := range s.servers {
+		if err := srv.Shutdown(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.servers = nil
+	s.deployed = false
+	return firstErr
+}

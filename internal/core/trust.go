@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sensor"
+)
+
+// TrustWeights assigns a relative weight to each trustworthy property when
+// aggregating a trust score. The paper discusses (§VIII) that a single
+// agnostic score is application-dependent; weights make that dependence
+// explicit.
+type TrustWeights map[sensor.Property]float64
+
+// DefaultTrustWeights weighs the properties the reproduction's sensors
+// measure.
+func DefaultTrustWeights() TrustWeights {
+	return TrustWeights{
+		sensor.PropPerformance:    0.4,
+		sensor.PropResilience:     0.3,
+		sensor.PropExplainability: 0.3,
+	}
+}
+
+// TrustReport aggregates the latest sensor readings into a weighted score.
+type TrustReport struct {
+	// Score is in [0, 1]; higher is more trustworthy.
+	Score float64 `json:"score"`
+	// PerProperty holds the mean normalized value per property.
+	PerProperty map[sensor.Property]float64 `json:"perProperty"`
+	// Alerts counts readings currently in alert state.
+	Alerts int `json:"alerts"`
+	// Sensors lists the readings that entered the report.
+	Sensors []sensor.Reading `json:"sensors"`
+}
+
+// Trust computes a trust report from the given readings. Reading values
+// must already be normalized to [0, 1] with higher = more trustworthy
+// (use e.g. 1-impact for resilience impact measurements). Properties with
+// zero weight or no readings are excluded from the score; remaining
+// weights are renormalized.
+func Trust(readings []sensor.Reading, weights TrustWeights) (TrustReport, error) {
+	if len(readings) == 0 {
+		return TrustReport{}, fmt.Errorf("core: no readings to aggregate")
+	}
+	if len(weights) == 0 {
+		weights = DefaultTrustWeights()
+	}
+	sums := make(map[sensor.Property]float64)
+	counts := make(map[sensor.Property]int)
+	rep := TrustReport{PerProperty: make(map[sensor.Property]float64)}
+	for _, r := range readings {
+		if r.Value < 0 || r.Value > 1 {
+			return TrustReport{}, fmt.Errorf("core: reading %q value %v outside [0,1]; normalize before aggregation", r.Sensor, r.Value)
+		}
+		sums[r.Property] += r.Value
+		counts[r.Property]++
+		if r.Alert {
+			rep.Alerts++
+		}
+		rep.Sensors = append(rep.Sensors, r)
+	}
+	sort.Slice(rep.Sensors, func(i, j int) bool { return rep.Sensors[i].Sensor < rep.Sensors[j].Sensor })
+
+	var weightTotal, score float64
+	for prop, n := range counts {
+		mean := sums[prop] / float64(n)
+		rep.PerProperty[prop] = mean
+		w := weights[prop]
+		if w <= 0 {
+			continue
+		}
+		score += w * mean
+		weightTotal += w
+	}
+	if weightTotal == 0 {
+		return TrustReport{}, fmt.Errorf("core: no reading matches a weighted property")
+	}
+	rep.Score = score / weightTotal
+	return rep, nil
+}

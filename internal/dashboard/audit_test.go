@@ -1,0 +1,70 @@
+package dashboard
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/audit"
+)
+
+func TestIngestFeedsAuditTrail(t *testing.T) {
+	dash := NewServer(nil)
+	srv := httptest.NewServer(dash)
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+
+	if err := c.Publish(context.Background(), reading("acc", 0.95, false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(context.Background(), reading("acc", 0.40, true)); err != nil {
+		t.Fatal(err)
+	}
+
+	trail := dash.Audit()
+	if trail.Len() != 2 {
+		t.Fatalf("audit records %d", trail.Len())
+	}
+	if err := trail.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	alerts := trail.Records(audit.KindAlert)
+	if len(alerts) != 1 {
+		t.Fatalf("alert records %d", len(alerts))
+	}
+
+	// The audit API serves the chain and its verification.
+	resp, err := http.Get(srv.URL + "/api/audit?kind=alert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var recs []audit.Record
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Actor != "acc" {
+		t.Fatalf("served audit %+v", recs)
+	}
+
+	vresp, err := http.Get(srv.URL + "/api/audit/verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vresp.Body.Close()
+	if vresp.StatusCode != http.StatusOK {
+		t.Fatalf("verify status %d", vresp.StatusCode)
+	}
+	var verdict struct {
+		OK      bool `json:"ok"`
+		Records int  `json:"records"`
+	}
+	if err := json.NewDecoder(vresp.Body).Decode(&verdict); err != nil {
+		t.Fatal(err)
+	}
+	if !verdict.OK || verdict.Records != 2 {
+		t.Fatalf("verdict %+v", verdict)
+	}
+}

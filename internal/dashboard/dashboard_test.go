@@ -1,0 +1,212 @@
+package dashboard
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sensor"
+)
+
+func reading(name string, v float64, alert bool) sensor.Reading {
+	return sensor.Reading{
+		Sensor:   name,
+		Property: sensor.PropPerformance,
+		Value:    v,
+		Time:     time.Now(),
+		Alert:    alert,
+		AlertMsg: map[bool]string{true: "out of range"}[alert],
+	}
+}
+
+func TestStoreAddAndSeries(t *testing.T) {
+	s := NewStore(3)
+	for i := 0; i < 5; i++ {
+		s.Add(reading("acc", float64(i), false))
+	}
+	series := s.Series("acc", 0)
+	if len(series) != 3 {
+		t.Fatalf("capacity not enforced: %d", len(series))
+	}
+	if series[0].Value != 2 || series[2].Value != 4 {
+		t.Fatalf("wrong window kept: %v..%v", series[0].Value, series[2].Value)
+	}
+	if got := s.Series("acc", 2); len(got) != 2 || got[1].Value != 4 {
+		t.Fatalf("limited series wrong: %+v", got)
+	}
+	if got := s.Series("ghost", 0); len(got) != 0 {
+		t.Fatal("unknown sensor should return empty series")
+	}
+}
+
+func TestStoreLatestAndAlerts(t *testing.T) {
+	s := NewStore(0)
+	s.Add(reading("a", 1, false))
+	s.Add(reading("a", 2, true))
+	s.Add(reading("b", 7, false))
+	latest := s.Latest()
+	if latest["a"].Value != 2 || latest["b"].Value != 7 {
+		t.Fatalf("latest %+v", latest)
+	}
+	if len(s.Alerts()) != 1 {
+		t.Fatalf("alerts %d", len(s.Alerts()))
+	}
+	if got := s.Sensors(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("sensors %v", got)
+	}
+}
+
+func TestServerIngestAndQuery(t *testing.T) {
+	srv := httptest.NewServer(NewServer(nil))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL}
+	if err := c.Publish(context.Background(), reading("acc", 0.97, false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(context.Background(), reading("acc", 0.5, true)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/api/series?sensor=acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var series []sensor.Reading
+	if err := json.NewDecoder(resp.Body).Decode(&series); err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 || series[1].Value != 0.5 {
+		t.Fatalf("series %+v", series)
+	}
+
+	resp2, err := http.Get(srv.URL + "/api/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var summary struct {
+		Latest map[string]sensor.Reading `json:"latest"`
+		Alerts int                       `json:"alerts"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&summary); err != nil {
+		t.Fatal(err)
+	}
+	if summary.Alerts != 1 || summary.Latest["acc"].Value != 0.5 {
+		t.Fatalf("summary %+v", summary)
+	}
+}
+
+func TestServerIngestValidation(t *testing.T) {
+	srv := httptest.NewServer(NewServer(nil))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/api/readings", "application/json", strings.NewReader("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json accepted: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/api/readings", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("nameless reading accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestServerSeriesValidation(t *testing.T) {
+	srv := httptest.NewServer(NewServer(nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/series")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing sensor param accepted: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/api/series?sensor=a&n=-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative n accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestServerHTMLIndex(t *testing.T) {
+	store := NewStore(0)
+	store.Add(reading("acc<script>", 0.9, true)) // must be escaped
+	srv := httptest.NewServer(NewServer(store))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body strings.Builder
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := resp.Body.Read(buf)
+		body.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	html := body.String()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("index status %d", resp.StatusCode)
+	}
+	if !strings.Contains(html, "SPATIAL AI Dashboard") {
+		t.Fatal("missing dashboard title")
+	}
+	if strings.Contains(html, "<script>") {
+		t.Fatal("sensor name not escaped")
+	}
+	if !strings.Contains(html, "ALERT") {
+		t.Fatal("alert row missing")
+	}
+}
+
+func TestStoreSinkAndManagerIntegration(t *testing.T) {
+	store := NewStore(0)
+	m := sensor.NewManager(StoreSink{Store: store})
+	if err := m.Register(&sensor.Sensor{
+		Name:     "acc",
+		Property: sensor.PropPerformance,
+		Interval: 10 * time.Millisecond,
+		Collector: sensor.CollectorFunc(func(context.Context) (float64, map[string]float64, error) {
+			return 0.9, nil, nil
+		}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(store.Series("acc", 0)) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("readings never reached store")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	m.Stop()
+}
+
+func TestClientPublishToDeadServer(t *testing.T) {
+	c := &Client{BaseURL: "http://127.0.0.1:1"}
+	if err := c.Publish(context.Background(), reading("x", 1, false)); err == nil {
+		t.Fatal("expected publish error")
+	}
+}

@@ -1,0 +1,249 @@
+package dashboard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"log"
+	"net/http"
+	"strconv"
+
+	"repro/internal/audit"
+	"repro/internal/sensor"
+)
+
+// Server is the AI dashboard's HTTP surface. It implements http.Handler.
+// Every ingested reading is also appended to a hash-chained audit log, the
+// paper's accountability requirement ("facilitates the verification of AI
+// systems for potential audits").
+type Server struct {
+	store *Store
+	trail *audit.Log
+	mux   *http.ServeMux
+	tmpl  *template.Template
+}
+
+// NewServer builds a dashboard server over the given store (a new store is
+// created when nil).
+func NewServer(store *Store) *Server {
+	if store == nil {
+		store = NewStore(0)
+	}
+	s := &Server{
+		store: store,
+		trail: audit.NewLog(),
+		mux:   http.NewServeMux(),
+		tmpl:  template.Must(template.New("index").Parse(indexHTML)),
+	}
+	s.mux.HandleFunc("POST /api/readings", s.handleIngest)
+	s.mux.HandleFunc("GET /api/sensors", s.handleSensors)
+	s.mux.HandleFunc("GET /api/series", s.handleSeries)
+	s.mux.HandleFunc("GET /api/summary", s.handleSummary)
+	s.mux.HandleFunc("GET /api/alerts", s.handleAlerts)
+	s.mux.HandleFunc("GET /api/audit", s.handleAudit)
+	s.mux.HandleFunc("GET /api/audit/verify", s.handleAuditVerify)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"service":"dashboard","status":"ok"}`)
+	})
+	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+	return s
+}
+
+// Store exposes the backing store (for in-process wiring).
+func (s *Server) Store() *Store { return s.store }
+
+// Audit exposes the hash-chained audit trail.
+func (s *Server) Audit() *audit.Log { return s.trail }
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	kind := audit.Kind(r.URL.Query().Get("kind"))
+	writeJSON(w, http.StatusOK, s.trail.Records(kind))
+}
+
+func (s *Server) handleAuditVerify(w http.ResponseWriter, r *http.Request) {
+	if err := s.trail.Verify(); err != nil {
+		writeJSON(w, http.StatusConflict, map[string]any{"ok": false, "error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "records": s.trail.Len()})
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("dashboard: encode response: %v", err)
+	}
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var reading sensor.Reading
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&reading); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if reading.Sensor == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing sensor name"})
+		return
+	}
+	s.store.Add(reading)
+	kind := audit.KindReading
+	if reading.Alert {
+		kind = audit.KindAlert
+	}
+	if _, err := s.trail.Append(kind, reading.Sensor, reading); err != nil {
+		log.Printf("dashboard: audit append: %v", err)
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "accepted"})
+}
+
+func (s *Server) handleSensors(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Sensors())
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("sensor")
+	if name == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing ?sensor="})
+		return
+	}
+	n := 0
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid ?n="})
+			return
+		}
+		n = v
+	}
+	writeJSON(w, http.StatusOK, s.store.Series(name, n))
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"latest": s.store.Latest(),
+		"alerts": len(s.store.Alerts()),
+	})
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Alerts())
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	latest := s.store.Latest()
+	type row struct {
+		Sensor   string
+		Property string
+		Value    string
+		Time     string
+		Alert    bool
+		AlertMsg string
+	}
+	var rows []row
+	for _, name := range s.store.Sensors() {
+		rd, ok := latest[name]
+		if !ok {
+			continue
+		}
+		rows = append(rows, row{
+			Sensor:   rd.Sensor,
+			Property: string(rd.Property),
+			Value:    strconv.FormatFloat(rd.Value, 'g', 6, 64),
+			Time:     rd.Time.Format("15:04:05"),
+			Alert:    rd.Alert,
+			AlertMsg: rd.AlertMsg,
+		})
+	}
+	var buf bytes.Buffer
+	if err := s.tmpl.Execute(&buf, map[string]any{
+		"Rows":   rows,
+		"Alerts": s.store.Alerts(),
+	}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return
+	}
+}
+
+const indexHTML = `<!DOCTYPE html>
+<html><head><title>SPATIAL AI Dashboard</title>
+<style>
+body{font-family:sans-serif;margin:2rem;background:#fafafa}
+table{border-collapse:collapse;min-width:40rem}
+th,td{border:1px solid #ccc;padding:.4rem .8rem;text-align:left}
+th{background:#eee}
+.alert{background:#ffe0e0}
+h1{font-size:1.4rem}
+</style></head>
+<body>
+<h1>SPATIAL AI Dashboard</h1>
+<p>Latest trustworthy-property measurements collected by the AI sensors.</p>
+<table>
+<tr><th>Sensor</th><th>Property</th><th>Value</th><th>Time</th><th>Status</th></tr>
+{{range .Rows}}<tr{{if .Alert}} class="alert"{{end}}>
+<td>{{.Sensor}}</td><td>{{.Property}}</td><td>{{.Value}}</td><td>{{.Time}}</td>
+<td>{{if .Alert}}ALERT: {{.AlertMsg}}{{else}}ok{{end}}</td></tr>
+{{end}}
+</table>
+<p>{{len .Alerts}} alert(s) recorded.</p>
+</body></html>`
+
+// Client publishes sensor readings to a dashboard over HTTP; it implements
+// sensor.Sink.
+type Client struct {
+	// BaseURL is the dashboard root, e.g. "http://localhost:8088".
+	BaseURL string
+	// HTTP is the underlying client; http.DefaultClient when nil.
+	HTTP *http.Client
+}
+
+var _ sensor.Sink = (*Client)(nil)
+
+// Publish implements sensor.Sink.
+func (c *Client) Publish(ctx context.Context, r sensor.Reading) error {
+	raw, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("marshal reading: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/api/readings", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := c.HTTP
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("publish reading: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("publish reading: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// StoreSink adapts a Store to sensor.Sink for in-process wiring.
+type StoreSink struct{ Store *Store }
+
+var _ sensor.Sink = StoreSink{}
+
+// Publish implements sensor.Sink.
+func (s StoreSink) Publish(_ context.Context, r sensor.Reading) error {
+	s.Store.Add(r)
+	return nil
+}

@@ -1,0 +1,94 @@
+// Package dashboard implements SPATIAL's AI dashboard back-end: an ingest
+// API fed by AI sensors, a bounded in-memory time-series store, alert
+// tracking, and a human-facing view (JSON + self-contained HTML) that lets
+// operators monitor the trustworthy properties of deployed AI models.
+package dashboard
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/sensor"
+)
+
+// Store is a bounded per-sensor time-series store.
+type Store struct {
+	capacity int
+
+	mu     sync.RWMutex
+	series map[string][]sensor.Reading
+	alerts []sensor.Reading
+}
+
+// NewStore builds a store keeping up to capacity readings per sensor
+// (default 1024).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Store{capacity: capacity, series: make(map[string][]sensor.Reading)}
+}
+
+// Add ingests one reading.
+func (s *Store) Add(r sensor.Reading) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := append(s.series[r.Sensor], r)
+	if len(buf) > s.capacity {
+		buf = buf[len(buf)-s.capacity:]
+	}
+	s.series[r.Sensor] = buf
+	if r.Alert {
+		s.alerts = append(s.alerts, r)
+		if len(s.alerts) > s.capacity {
+			s.alerts = s.alerts[len(s.alerts)-s.capacity:]
+		}
+	}
+}
+
+// Sensors lists sensors with stored readings, sorted by name.
+func (s *Store) Sensors() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.series))
+	for name := range s.series {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Series returns up to n most recent readings of a sensor (all if n <= 0).
+func (s *Store) Series(name string, n int) []sensor.Reading {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	buf := s.series[name]
+	if n > 0 && len(buf) > n {
+		buf = buf[len(buf)-n:]
+	}
+	out := make([]sensor.Reading, len(buf))
+	copy(out, buf)
+	return out
+}
+
+// Latest returns the newest reading per sensor.
+func (s *Store) Latest() map[string]sensor.Reading {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]sensor.Reading, len(s.series))
+	for name, buf := range s.series {
+		if len(buf) > 0 {
+			out[name] = buf[len(buf)-1]
+		}
+	}
+	return out
+}
+
+// Alerts returns the stored alert readings, newest last.
+func (s *Store) Alerts() []sensor.Reading {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]sensor.Reading, len(s.alerts))
+	copy(out, s.alerts)
+	return out
+}

@@ -1,0 +1,334 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/ml"
+)
+
+func TestUniMiBShape(t *testing.T) {
+	cfg := UniMiBConfig{Samples: 340, Seed: 1}
+	tb, err := UniMiB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 340 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	if tb.NumFeatures() != 453 {
+		t.Fatalf("features = %d, want 453 (3 axes x 151 samples)", tb.NumFeatures())
+	}
+	if tb.NumClasses() != 17 {
+		t.Fatalf("classes = %d, want 17", tb.NumClasses())
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniMiBClassMix(t *testing.T) {
+	tb, err := UniMiB(UniMiBConfig{Samples: 1000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := tb.ClassCounts()
+	var adl, fall int
+	for c, n := range counts {
+		if n == 0 {
+			t.Fatalf("class %d has no samples", c)
+		}
+		if c < 9 {
+			adl += n
+		} else {
+			fall += n
+		}
+	}
+	frac := float64(fall) / 1000
+	if frac < 0.3 || frac > 0.42 {
+		t.Fatalf("fall fraction %.2f outside [0.30, 0.42]", frac)
+	}
+}
+
+func TestUniMiBBinaryLabels(t *testing.T) {
+	tb, err := UniMiBBinary(UniMiBConfig{Samples: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumClasses() != 2 || tb.ClassNames[1] != "fall" {
+		t.Fatalf("classes %v", tb.ClassNames)
+	}
+	counts := tb.ClassCounts()
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("degenerate binary mix %v", counts)
+	}
+}
+
+func TestUniMiBDeterministic(t *testing.T) {
+	a, err := UniMiB(UniMiBConfig{Samples: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := UniMiB(UniMiBConfig{Samples: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.X {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("labels differ across identical seeds")
+		}
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				t.Fatal("features differ across identical seeds")
+			}
+		}
+	}
+	c, err := UniMiB(UniMiBConfig{Samples: 50, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.X {
+		if a.X[i][0] != c.X[i][0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestUniMiBRejectsBadConfig(t *testing.T) {
+	if _, err := UniMiB(UniMiBConfig{Samples: 0}); err == nil {
+		t.Fatal("expected error for zero samples")
+	}
+}
+
+func TestUniMiBFallsHaveImpactSpikes(t *testing.T) {
+	tb, err := UniMiBBinary(UniMiBConfig{Samples: 400, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean per-window max |az| should be clearly larger for falls.
+	var fallMax, adlMax float64
+	var fallN, adlN int
+	for i, row := range tb.X {
+		m := 0.0
+		for _, v := range row[302:453] { // az block
+			if a := math.Abs(v); a > m {
+				m = a
+			}
+		}
+		if tb.Y[i] == 1 {
+			fallMax += m
+			fallN++
+		} else {
+			adlMax += m
+			adlN++
+		}
+	}
+	fallMax /= float64(fallN)
+	adlMax /= float64(adlN)
+	if fallMax < adlMax*1.2 {
+		t.Fatalf("fall windows not spikier than ADL: %.2f vs %.2f", fallMax, adlMax)
+	}
+}
+
+// TestUniMiBModelOrdering is the core calibration check: nonlinear models
+// must clearly beat the linear baseline, mirroring the paper's LR 73% vs
+// DNN/MLP/RF 97%.
+func TestUniMiBModelOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training several models")
+	}
+	tb, err := UniMiBBinary(UniMiBConfig{Samples: 1600, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	train, test, err := tb.StratifiedSplit(rng, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaler, err := dataset.FitScaler(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strain, stest := train.Clone(), test.Clone()
+	if err := scaler.Transform(strain); err != nil {
+		t.Fatal(err)
+	}
+	if err := scaler.Transform(stest); err != nil {
+		t.Fatal(err)
+	}
+
+	accOf := func(name string, tr, te *dataset.Table) float64 {
+		c, err := ml.NewByName(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Fit(tr); err != nil {
+			t.Fatal(err)
+		}
+		m, err := ml.Evaluate(c, te)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Accuracy
+	}
+	lr := accOf("lr", strain, stest)
+	mlp := accOf("mlp", strain, stest)
+	rf := accOf("rf", train, test)
+	if mlp < 0.9 {
+		t.Fatalf("mlp accuracy %.3f < 0.90", mlp)
+	}
+	if rf < 0.88 {
+		t.Fatalf("rf accuracy %.3f < 0.88", rf)
+	}
+	if lr > mlp-0.05 {
+		t.Fatalf("lr (%.3f) should trail mlp (%.3f) clearly", lr, mlp)
+	}
+}
+
+func TestNetTrafficShape(t *testing.T) {
+	tb, flows, err := NetTraffic(DefaultNetTrafficConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 382 || len(flows) != 382 {
+		t.Fatalf("traces = %d/%d, want 382", tb.Len(), len(flows))
+	}
+	if tb.NumFeatures() != 21 {
+		t.Fatalf("features = %d, want 21", tb.NumFeatures())
+	}
+	counts := tb.ClassCounts()
+	if counts[0] != 304 || counts[1] != 34 || counts[2] != 44 {
+		t.Fatalf("class mix %v, want [304 34 44]", counts)
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetTrafficDeterministic(t *testing.T) {
+	cfg := NetTrafficConfig{Web: 10, Interactive: 5, Video: 5, Seed: 11}
+	a, _, err := NetTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := NetTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.X {
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				t.Fatal("non-deterministic traces")
+			}
+		}
+	}
+}
+
+func TestNetTrafficRejectsBadConfig(t *testing.T) {
+	if _, _, err := NetTraffic(NetTrafficConfig{}); err == nil {
+		t.Fatal("expected error for zero traces")
+	}
+	if _, _, err := NetTraffic(NetTrafficConfig{Web: -1, Video: 2}); err == nil {
+		t.Fatal("expected error for negative count")
+	}
+}
+
+func TestVideoFlowsAreDownlinkDominated(t *testing.T) {
+	tb, _, err := NetTraffic(NetTrafficConfig{Web: 20, Interactive: 10, Video: 10, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratioIdx := indexOf(t, NetFeatureNames(), "speed_down_up_ratio")
+	durIdx := indexOf(t, NetFeatureNames(), "duration_s")
+	var videoRatio, webRatio, videoDur, webDur float64
+	var nv, nw int
+	for i, row := range tb.X {
+		switch tb.ClassNames[tb.Y[i]] {
+		case ClassVideo:
+			videoRatio += row[ratioIdx]
+			videoDur += row[durIdx]
+			nv++
+		case ClassWeb:
+			webRatio += row[ratioIdx]
+			webDur += row[durIdx]
+			nw++
+		}
+	}
+	videoRatio /= float64(nv)
+	webRatio /= float64(nw)
+	if videoRatio <= webRatio {
+		t.Fatalf("video down/up ratio %.1f should exceed web %.1f", videoRatio, webRatio)
+	}
+	if videoDur/float64(1) <= webDur/float64(1) {
+		t.Fatalf("video duration %.1f should exceed web %.1f", videoDur/float64(nv), webDur/float64(nw))
+	}
+}
+
+func TestExtractFlowFeaturesEmptyFlow(t *testing.T) {
+	if _, err := ExtractFlowFeatures(Flow{}); err == nil {
+		t.Fatal("expected error for empty flow")
+	}
+}
+
+func TestExtractFlowFeaturesSinglePacket(t *testing.T) {
+	f := Flow{Packets: []Packet{{Time: 0, Dir: Uplink, Proto: ProtoTCP, Size: 100}}}
+	feats, err := ExtractFlowFeatures(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range feats {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("feature %d non-finite for single-packet flow", i)
+		}
+	}
+}
+
+// TestNetTrafficSeparability verifies the classes are learnable at the
+// paper's reported level (>= 94%) by at least one model family.
+func TestNetTrafficSeparability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training model")
+	}
+	tb, _, err := NetTraffic(DefaultNetTrafficConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	train, test, err := tb.StratifiedSplit(rng, 0.73) // paper: 103 test samples
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ml.NewByName("lgbm", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ml.Evaluate(c, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accuracy < 0.9 {
+		t.Fatalf("lgbm accuracy %.3f < 0.90 on synthetic traces", m.Accuracy)
+	}
+}
+
+func indexOf(t *testing.T, names []string, want string) int {
+	t.Helper()
+	for i, n := range names {
+		if n == want {
+			return i
+		}
+	}
+	t.Fatalf("feature %q not found", want)
+	return -1
+}

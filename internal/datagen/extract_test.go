@@ -1,0 +1,111 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+)
+
+// handFlow builds a fully deterministic 4-packet flow:
+//
+//	t=0.0  up   TCP+TLS 100B
+//	t=1.0  down TCP     1400B
+//	t=2.0  down UDP     200B
+//	t=4.0  up   UDP     50B
+func handFlow() Flow {
+	return Flow{Packets: []Packet{
+		{Time: 0.0, Dir: Uplink, Proto: ProtoTCP, Size: 100, TLS: true},
+		{Time: 1.0, Dir: Downlink, Proto: ProtoTCP, Size: 1400},
+		{Time: 2.0, Dir: Downlink, Proto: ProtoUDP, Size: 200},
+		{Time: 4.0, Dir: Uplink, Proto: ProtoUDP, Size: 50},
+	}}
+}
+
+func featIdx(t *testing.T, name string) int {
+	t.Helper()
+	for i, n := range NetFeatureNames() {
+		if n == name {
+			return i
+		}
+	}
+	t.Fatalf("no feature %q", name)
+	return -1
+}
+
+func TestExtractFlowFeaturesExactValues(t *testing.T) {
+	feats, err := ExtractFlowFeatures(handFlow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, want float64) {
+		t.Helper()
+		if got := feats[featIdx(t, name)]; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("%s = %v, want %v", name, got, want)
+		}
+	}
+	check("duration_s", 4.0)
+	check("idle_max_s", 2.0) // the 2s gap before the last packet
+	check("proto_tcp", 0.5)  // 2 of 4 packets
+	check("proto_udp", 0.5)
+	check("proto_tls", 100.0/1500) // TLS bytes over TCP bytes
+	check("up_pkts", 2)
+	check("up_bytes", 150)
+	check("up_mean_pkt_size", 75)
+	check("up_pkt_rate", 0.5) // 2 packets / 4s
+	check("down_pkts", 2)
+	check("down_bytes", 1600)
+	check("down_mean_pkt_size", 800)
+	check("down_pkt_rate", 0.5)
+	check("speed_up_bps", 150*8/4.0)
+	check("speed_down_bps", 1600*8/4.0)
+	check("speed_down_up_ratio", 1600.0/150)
+	// Peak throughput: second 1 carries the 1400B packet = 11200 bits.
+	check("speed_peak_bps", 11200)
+}
+
+func TestExtractFlowFeaturesSortsPackets(t *testing.T) {
+	f := handFlow()
+	// Reverse packet order; extraction must be order-invariant.
+	for i, j := 0, len(f.Packets)-1; i < j; i, j = i+1, j-1 {
+		f.Packets[i], f.Packets[j] = f.Packets[j], f.Packets[i]
+	}
+	a, err := ExtractFlowFeatures(handFlow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExtractFlowFeatures(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("feature %d order-dependent: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestExtractFlowFeaturesDoesNotMutateInput(t *testing.T) {
+	f := Flow{Packets: []Packet{
+		{Time: 3, Dir: Uplink, Proto: ProtoTCP, Size: 10},
+		{Time: 1, Dir: Uplink, Proto: ProtoTCP, Size: 20},
+	}}
+	if _, err := ExtractFlowFeatures(f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Packets[0].Time != 3 {
+		t.Fatal("extractor reordered the caller's packet slice")
+	}
+}
+
+func TestBurstinessValues(t *testing.T) {
+	// Perfectly paced gaps -> burstiness 0.
+	if b := burstiness([]float64{1, 1, 1}); b != 0 {
+		t.Fatalf("paced burstiness %v", b)
+	}
+	// Alternating gaps have positive coefficient of variation.
+	if b := burstiness([]float64{0.1, 2, 0.1, 2}); b <= 0 {
+		t.Fatalf("bursty burstiness %v", b)
+	}
+	if b := burstiness([]float64{1}); b != 0 {
+		t.Fatalf("single-gap burstiness %v", b)
+	}
+}

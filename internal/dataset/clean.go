@@ -1,0 +1,90 @@
+package dataset
+
+import "math"
+
+// CleanReport summarizes what Clean changed, mirroring the "data
+// collection" stage of the paper's AI pipeline (missing data handling and
+// duplicate removal).
+type CleanReport struct {
+	ImputedValues     int `json:"imputedValues"`
+	DroppedDuplicates int `json:"droppedDuplicates"`
+	DroppedEmptyRows  int `json:"droppedEmptyRows"`
+}
+
+// Clean repairs the table in place: NaN/Inf feature values are imputed with
+// the per-feature mean of the finite values, rows that are entirely
+// non-finite are dropped, and exact duplicate rows (same features and
+// label) are removed.
+func Clean(t *Table) CleanReport {
+	var rep CleanReport
+
+	d := t.NumFeatures()
+	means := make([]float64, d)
+	counts := make([]int, d)
+	for _, row := range t.X {
+		for j, v := range row {
+			if isFinite(v) {
+				means[j] += v
+				counts[j]++
+			}
+		}
+	}
+	for j := range means {
+		if counts[j] > 0 {
+			means[j] /= float64(counts[j])
+		}
+	}
+
+	keptX := t.X[:0]
+	keptY := t.Y[:0]
+	for i, row := range t.X {
+		finite := 0
+		for j, v := range row {
+			if isFinite(v) {
+				finite++
+			} else {
+				row[j] = means[j]
+				rep.ImputedValues++
+			}
+		}
+		if finite == 0 && d > 0 {
+			rep.DroppedEmptyRows++
+			rep.ImputedValues -= d // the whole-row imputations do not count
+			continue
+		}
+		keptX = append(keptX, row)
+		keptY = append(keptY, t.Y[i])
+	}
+	t.X, t.Y = keptX, keptY
+
+	seen := make(map[string]struct{}, len(t.X))
+	dedupX := t.X[:0]
+	dedupY := t.Y[:0]
+	for i, row := range t.X {
+		key := rowKey(row, t.Y[i])
+		if _, dup := seen[key]; dup {
+			rep.DroppedDuplicates++
+			continue
+		}
+		seen[key] = struct{}{}
+		dedupX = append(dedupX, row)
+		dedupY = append(dedupY, t.Y[i])
+	}
+	t.X, t.Y = dedupX, dedupY
+	return rep
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func rowKey(row []float64, y int) string {
+	// Exact byte representation of the float64s plus the label.
+	buf := make([]byte, 0, len(row)*8+4)
+	for _, v := range row {
+		bits := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(bits>>s))
+		}
+	}
+	buf = append(buf, byte(y), byte(y>>8), byte(y>>16), byte(y>>24))
+	return string(buf)
+}

@@ -1,0 +1,125 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCleanImputesNaN(t *testing.T) {
+	tb := New("dirty", []string{"a", "b"}, []string{"x"})
+	_ = tb.Append([]float64{1, 10}, 0)
+	_ = tb.Append([]float64{3, 30}, 0)
+	tb.X = append(tb.X, []float64{math.NaN(), 20})
+	tb.Y = append(tb.Y, 0)
+	rep := Clean(tb)
+	if rep.ImputedValues != 1 {
+		t.Fatalf("ImputedValues = %d", rep.ImputedValues)
+	}
+	if tb.X[2][0] != 2 { // mean of finite values 1 and 3
+		t.Fatalf("imputed value %v, want 2", tb.X[2][0])
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCleanDropsAllNaNRows(t *testing.T) {
+	tb := New("dirty", []string{"a", "b"}, []string{"x"})
+	_ = tb.Append([]float64{1, 2}, 0)
+	tb.X = append(tb.X, []float64{math.NaN(), math.Inf(1)})
+	tb.Y = append(tb.Y, 0)
+	rep := Clean(tb)
+	if rep.DroppedEmptyRows != 1 {
+		t.Fatalf("DroppedEmptyRows = %d", rep.DroppedEmptyRows)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d after drop", tb.Len())
+	}
+}
+
+func TestCleanDeduplicates(t *testing.T) {
+	tb := New("dup", []string{"a"}, []string{"x", "y"})
+	_ = tb.Append([]float64{1}, 0)
+	_ = tb.Append([]float64{1}, 0) // exact duplicate
+	_ = tb.Append([]float64{1}, 1) // same features, different label: keep
+	rep := Clean(tb)
+	if rep.DroppedDuplicates != 1 {
+		t.Fatalf("DroppedDuplicates = %d", rep.DroppedDuplicates)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestCleanNoopOnCleanData(t *testing.T) {
+	tb := twoClassTable(t, 20)
+	before := tb.Len()
+	rep := Clean(tb)
+	if rep.ImputedValues != 0 || rep.DroppedDuplicates != 0 || rep.DroppedEmptyRows != 0 {
+		t.Fatalf("unexpected clean report %+v", rep)
+	}
+	if tb.Len() != before {
+		t.Fatal("Clean changed a clean table")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := twoClassTable(t, 15)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "toy", tb.ClassNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tb.Len() || got.NumFeatures() != tb.NumFeatures() {
+		t.Fatalf("round trip shape %dx%d", got.Len(), got.NumFeatures())
+	}
+	for i := range tb.X {
+		if got.Y[i] != tb.Y[i] {
+			t.Fatalf("label %d mismatch", i)
+		}
+		for j := range tb.X[i] {
+			if got.X[i][j] != tb.X[i][j] {
+				t.Fatalf("value (%d,%d) mismatch: %v != %v", i, j, got.X[i][j], tb.X[i][j])
+			}
+		}
+	}
+}
+
+func TestReadCSVDiscoversClasses(t *testing.T) {
+	in := "f0,label\n1,cat\n2,dog\n3,cat\n"
+	tb, err := ReadCSV(strings.NewReader(in), "pets", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.ClassNames) != 2 || tb.ClassNames[0] != "cat" || tb.ClassNames[1] != "dog" {
+		t.Fatalf("ClassNames = %v", tb.ClassNames)
+	}
+	if tb.Y[1] != 1 {
+		t.Fatalf("dog label = %d", tb.Y[1])
+	}
+}
+
+func TestReadCSVRejectsUnknownClassWhenFixed(t *testing.T) {
+	in := "f0,label\n1,weasel\n"
+	if _, err := ReadCSV(strings.NewReader(in), "pets", []string{"cat", "dog"}); err == nil {
+		t.Fatal("expected unknown-class error")
+	}
+}
+
+func TestReadCSVRejectsBadNumber(t *testing.T) {
+	in := "f0,label\nnotanumber,cat\n"
+	if _, err := ReadCSV(strings.NewReader(in), "bad", nil); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestReadCSVRejectsHeaderOnlyLabel(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("label\ncat\n"), "bad", nil); err == nil {
+		t.Fatal("expected error for zero feature columns")
+	}
+}

@@ -1,0 +1,85 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes the table: a header row of feature names plus a final
+// "label" column containing class names.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string(nil), t.FeatureNames...), "label")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("write csv header: %w", err)
+	}
+	rec := make([]string, len(header))
+	for i, row := range t.X {
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		rec[len(rec)-1] = t.ClassNames[t.Y[i]]
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table in the WriteCSV format. Class names are collected
+// in order of first appearance unless classNames is non-nil, in which case
+// labels must come from that set.
+func ReadCSV(r io.Reader, name string, classNames []string) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read csv header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("csv %q: need at least one feature and a label column", name)
+	}
+	t := New(name, header[:len(header)-1], classNames)
+	classIdx := make(map[string]int, len(classNames))
+	for i, c := range t.ClassNames {
+		classIdx[c] = i
+	}
+	fixed := classNames != nil
+	rowNum := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("read csv row %d: %w", rowNum, err)
+		}
+		rowNum++
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("csv %q row %d: %d fields, want %d", name, rowNum, len(rec), len(header))
+		}
+		row := make([]float64, len(header)-1)
+		for j := range row {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("csv %q row %d col %d: %w", name, rowNum, j, err)
+			}
+			row[j] = v
+		}
+		label := rec[len(rec)-1]
+		ci, ok := classIdx[label]
+		if !ok {
+			if fixed {
+				return nil, fmt.Errorf("csv %q row %d: unknown class %q", name, rowNum, label)
+			}
+			ci = len(t.ClassNames)
+			t.ClassNames = append(t.ClassNames, label)
+			classIdx[label] = ci
+		}
+		t.X = append(t.X, row)
+		t.Y = append(t.Y, ci)
+	}
+	return t, nil
+}

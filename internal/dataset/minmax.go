@@ -1,0 +1,71 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MinMaxScaler rescales features into [0, 1] using the ranges observed on
+// a training set — the normalization use case 2 applies before training so
+// all three model families see the same representation (which is also what
+// lets adversarial samples crafted on one model transfer to the others).
+type MinMaxScaler struct {
+	Min   []float64 `json:"min"`
+	Range []float64 `json:"range"`
+}
+
+// FitMinMax computes per-feature minima and ranges from t. Constant
+// features get range 1 so transforming them is a pure shift.
+func FitMinMax(t *Table) (*MinMaxScaler, error) {
+	if t.Len() == 0 {
+		return nil, errors.New("dataset: cannot fit min-max scaler on empty table")
+	}
+	d := t.NumFeatures()
+	s := &MinMaxScaler{Min: make([]float64, d), Range: make([]float64, d)}
+	maxs := make([]float64, d)
+	copy(s.Min, t.X[0])
+	copy(maxs, t.X[0])
+	for _, row := range t.X[1:] {
+		for j, v := range row {
+			if v < s.Min[j] {
+				s.Min[j] = v
+			}
+			if v > maxs[j] {
+				maxs[j] = v
+			}
+		}
+	}
+	for j := range s.Range {
+		s.Range[j] = maxs[j] - s.Min[j]
+		if s.Range[j] <= 0 {
+			s.Range[j] = 1
+		}
+	}
+	return s, nil
+}
+
+// Transform rescales t in place. Values outside the fitted range map
+// outside [0, 1]; they are not clipped.
+func (s *MinMaxScaler) Transform(t *Table) error {
+	if t.NumFeatures() != len(s.Min) {
+		return fmt.Errorf("dataset: min-max scaler dimension %d != table %d", len(s.Min), t.NumFeatures())
+	}
+	for _, row := range t.X {
+		s.TransformRow(row)
+	}
+	return nil
+}
+
+// TransformRow rescales one row in place.
+func (s *MinMaxScaler) TransformRow(row []float64) {
+	for j := range row {
+		row[j] = (row[j] - s.Min[j]) / s.Range[j]
+	}
+}
+
+// InverseRow maps a normalized row back to raw feature space in place.
+func (s *MinMaxScaler) InverseRow(row []float64) {
+	for j := range row {
+		row[j] = row[j]*s.Range[j] + s.Min[j]
+	}
+}

@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomTable builds a random table with at least one sample per class.
+func randomTable(rng *rand.Rand) *Table {
+	classes := 2 + rng.Intn(4)
+	features := 1 + rng.Intn(5)
+	names := make([]string, features)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	classNames := make([]string, classes)
+	for i := range classNames {
+		classNames[i] = string(rune('A' + i))
+	}
+	t := New("rand", names, classNames)
+	n := classes*2 + rng.Intn(60)
+	for i := 0; i < n; i++ {
+		row := make([]float64, features)
+		for j := range row {
+			row[j] = rng.NormFloat64() * 100
+		}
+		y := i % classes // guarantees every class appears twice
+		if err := t.Append(row, y); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+// TestStratifiedSplitPartitionProperty: for random tables and fractions,
+// the split is a partition (sizes sum, class counts preserved) and every
+// class is represented on both sides.
+func TestStratifiedSplitPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	f := func() bool {
+		tb := randomTable(rng)
+		frac := 0.3 + rng.Float64()*0.4
+		train, test, err := tb.StratifiedSplit(rng, frac)
+		if err != nil {
+			return false
+		}
+		if train.Len()+test.Len() != tb.Len() {
+			return false
+		}
+		orig := tb.ClassCounts()
+		trainC, testC := train.ClassCounts(), test.ClassCounts()
+		for c := range orig {
+			if trainC[c]+testC[c] != orig[c] {
+				return false
+			}
+			if orig[c] >= 2 && (trainC[c] == 0 || testC[c] == 0) {
+				return false
+			}
+		}
+		return train.Validate() == nil && test.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCSVRoundTripProperty: WriteCSV/ReadCSV is lossless for arbitrary
+// float64 payloads (strconv 'g' -1 is exact).
+func TestCSVRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	f := func() bool {
+		tb := randomTable(rng)
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tb); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf, tb.Name, tb.ClassNames)
+		if err != nil {
+			return false
+		}
+		if got.Len() != tb.Len() {
+			return false
+		}
+		for i := range tb.X {
+			if got.Y[i] != tb.Y[i] {
+				return false
+			}
+			for j := range tb.X[i] {
+				if got.X[i][j] != tb.X[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCleanIdempotent: cleaning twice equals cleaning once.
+func TestCleanIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	f := func() bool {
+		tb := randomTable(rng)
+		Clean(tb)
+		before := tb.Len()
+		rep := Clean(tb)
+		return tb.Len() == before && rep.ImputedValues == 0 && rep.DroppedDuplicates == 0 && rep.DroppedEmptyRows == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMinMaxTransformBoundsProperty: transformed training rows land in
+// [0,1] and inverse-transform restores them.
+func TestMinMaxTransformBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	f := func() bool {
+		tb := randomTable(rng)
+		s, err := FitMinMax(tb)
+		if err != nil {
+			return false
+		}
+		for _, row := range tb.X {
+			orig := append([]float64(nil), row...)
+			s.TransformRow(row)
+			for _, v := range row {
+				if v < -1e-12 || v > 1+1e-12 {
+					return false
+				}
+			}
+			s.InverseRow(row)
+			for j := range row {
+				if diff := row[j] - orig[j]; diff > 1e-9 || diff < -1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxValidation(t *testing.T) {
+	empty := New("e", []string{"a"}, []string{"x"})
+	if _, err := FitMinMax(empty); err == nil {
+		t.Fatal("expected empty error")
+	}
+	tb := New("t", []string{"a"}, []string{"x"})
+	_ = tb.Append([]float64{5}, 0)
+	s, err := FitMinMax(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := New("o", []string{"a", "b"}, []string{"x"})
+	_ = other.Append([]float64{1, 2}, 0)
+	if err := s.Transform(other); err == nil {
+		t.Fatal("expected dim mismatch error")
+	}
+	// Constant feature: transform is a pure shift to 0.
+	row := []float64{5}
+	s.TransformRow(row)
+	if row[0] != 0 {
+		t.Fatalf("constant feature transform %v", row[0])
+	}
+}

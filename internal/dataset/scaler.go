@@ -1,0 +1,74 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Scaler standardizes features to zero mean and unit variance using
+// statistics fitted on a training set, the preprocessing step the paper's
+// pipeline applies before training gradient-based models.
+type Scaler struct {
+	Mean []float64 `json:"mean"`
+	Std  []float64 `json:"std"`
+}
+
+// FitScaler computes per-feature mean and standard deviation from t.
+// Features with zero variance get Std 1 so transforming them is a no-op
+// shift.
+func FitScaler(t *Table) (*Scaler, error) {
+	if t.Len() == 0 {
+		return nil, errors.New("dataset: cannot fit scaler on empty table")
+	}
+	d := t.NumFeatures()
+	s := &Scaler{Mean: make([]float64, d), Std: make([]float64, d)}
+	for _, row := range t.X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(t.Len())
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range t.X {
+		for j, v := range row {
+			dv := v - s.Mean[j]
+			s.Std[j] += dv * dv
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1
+		}
+	}
+	return s, nil
+}
+
+// Transform standardizes t in place.
+func (s *Scaler) Transform(t *Table) error {
+	if t.NumFeatures() != len(s.Mean) {
+		return fmt.Errorf("dataset: scaler dimension %d != table %d", len(s.Mean), t.NumFeatures())
+	}
+	for _, row := range t.X {
+		s.TransformRow(row)
+	}
+	return nil
+}
+
+// TransformRow standardizes a single row in place.
+func (s *Scaler) TransformRow(row []float64) {
+	for j := range row {
+		row[j] = (row[j] - s.Mean[j]) / s.Std[j]
+	}
+}
+
+// InverseRow maps a standardized row back to the original feature space in
+// place.
+func (s *Scaler) InverseRow(row []float64) {
+	for j := range row {
+		row[j] = row[j]*s.Std[j] + s.Mean[j]
+	}
+}

@@ -1,0 +1,105 @@
+package defense
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+)
+
+// InputFilter flags inputs that sit unusually far from the training
+// manifold — a lightweight evasion detector the serving path can apply
+// before the model (large FGSM-style perturbations push samples off the
+// data manifold).
+type InputFilter struct {
+	train     [][]float64
+	k         int
+	threshold float64
+}
+
+// FitInputFilter learns the detector from training data: every training
+// sample's mean distance to its k nearest neighbours is computed, and the
+// detection threshold is set at the given quantile (e.g. 0.99) of those
+// in-distribution scores.
+func FitInputFilter(t *dataset.Table, k int, quantile float64) (*InputFilter, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("defense: k must be >= 1, got %d", k)
+	}
+	if quantile <= 0 || quantile > 1 {
+		return nil, fmt.Errorf("defense: quantile %v outside (0,1]", quantile)
+	}
+	n := t.Len()
+	if n < k+1 {
+		return nil, fmt.Errorf("defense: need more than k=%d samples, have %d", k, n)
+	}
+	train := make([][]float64, n)
+	for i, row := range t.X {
+		train[i] = append([]float64(nil), row...)
+	}
+	f := &InputFilter{train: train, k: k}
+
+	scores := make([]float64, n)
+	for i := range train {
+		scores[i] = f.knnScore(train[i], i)
+	}
+	sort.Float64s(scores)
+	idx := int(quantile * float64(n-1))
+	f.threshold = scores[idx]
+	return f, nil
+}
+
+// knnScore returns the mean distance from x to its k nearest training
+// rows, excluding index skip (-1 to include all).
+func (f *InputFilter) knnScore(x []float64, skip int) float64 {
+	// Maintain the k smallest distances in a small insertion buffer.
+	best := make([]float64, f.k)
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	for i, row := range f.train {
+		if i == skip {
+			continue
+		}
+		d := mat.Dist2(x, row)
+		if d >= best[f.k-1] {
+			continue
+		}
+		pos := f.k - 1
+		for pos > 0 && best[pos-1] > d {
+			best[pos] = best[pos-1]
+			pos--
+		}
+		best[pos] = d
+	}
+	var sum float64
+	for _, d := range best {
+		sum += d
+	}
+	return sum / float64(f.k)
+}
+
+// Score returns the anomaly score of x (mean k-NN distance to training
+// data); higher is more anomalous.
+func (f *InputFilter) Score(x []float64) float64 { return f.knnScore(x, -1) }
+
+// Threshold returns the fitted detection threshold.
+func (f *InputFilter) Threshold() float64 { return f.threshold }
+
+// IsAdversarial reports whether x exceeds the detection threshold.
+func (f *InputFilter) IsAdversarial(x []float64) bool { return f.Score(x) > f.threshold }
+
+// DetectionRate scores a batch and returns the flagged fraction.
+func (f *InputFilter) DetectionRate(rows [][]float64) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	flagged := 0
+	for _, x := range rows {
+		if f.IsAdversarial(x) {
+			flagged++
+		}
+	}
+	return float64(flagged) / float64(len(rows))
+}

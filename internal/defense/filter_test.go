@@ -1,0 +1,77 @@
+package defense
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/ml"
+)
+
+func TestInputFilterFlagsLargePerturbations(t *testing.T) {
+	data := blobs(10, 300)
+	filter, err := FitInputFilter(data, 5, 0.98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-distribution samples should mostly pass.
+	cleanRate := filter.DetectionRate(data.X[:100])
+	if cleanRate > 0.1 {
+		t.Fatalf("clean false-positive rate %.2f", cleanRate)
+	}
+	// Large adversarial shifts must be flagged.
+	m := ml.NewLogReg(ml.DefaultLogRegConfig())
+	if err := m.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	adv, err := attack.FGSM(m, data, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advRate := filter.DetectionRate(adv.Adversarial.X[:100])
+	if advRate < 0.8 {
+		t.Fatalf("adversarial detection rate %.2f too low", advRate)
+	}
+}
+
+func TestInputFilterScoreMonotoneInDistance(t *testing.T) {
+	data := blobs(11, 100)
+	filter, err := FitInputFilter(data, 3, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := append([]float64(nil), data.X[0]...)
+	far := []float64{near[0] + 50, near[1] + 50}
+	if filter.Score(far) <= filter.Score(near) {
+		t.Fatal("score should grow with distance from the manifold")
+	}
+	if !filter.IsAdversarial(far) {
+		t.Fatal("distant point not flagged")
+	}
+}
+
+func TestInputFilterValidation(t *testing.T) {
+	data := blobs(12, 20)
+	if _, err := FitInputFilter(data, 0, 0.95); err == nil {
+		t.Fatal("expected k error")
+	}
+	if _, err := FitInputFilter(data, 3, 0); err == nil {
+		t.Fatal("expected quantile error")
+	}
+	if _, err := FitInputFilter(data, 3, 1.5); err == nil {
+		t.Fatal("expected quantile error")
+	}
+	if _, err := FitInputFilter(data, 50, 0.95); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+func TestInputFilterEmptyBatch(t *testing.T) {
+	data := blobs(13, 30)
+	filter, err := FitInputFilter(data, 3, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := filter.DetectionRate(nil); rate != 0 {
+		t.Fatalf("empty batch rate %v", rate)
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// IDs lists the experiment identifiers Run accepts, in the order they
+// appear in the paper.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// registry maps experiment ids to runners. Every runner returns its
+// structured result (for EXPERIMENTS.md) after printing its table.
+var registry = map[string]func(Config) (any, error){
+	"uc1-baseline": func(c Config) (any, error) { return UC1Baseline(c) },
+	"fig6":         func(c Config) (any, error) { return Fig6(c) },
+	"fig6-shap":    func(c Config) (any, error) { return Fig6SHAP(c) },
+	"uc2-baseline": func(c Config) (any, error) { return UC2Baseline(c) },
+	"uc2-fgsm":     func(c Config) (any, error) { return UC2FGSM(c) },
+	"fig7-shap":    func(c Config) (any, error) { return Fig7SHAP(c) },
+	"fig7":         func(c Config) (any, error) { return Fig7(c) },
+	"fig8b":        func(c Config) (any, error) { return Fig8b(c) },
+	"fig8c":        func(c Config) (any, error) { return Fig8c(c) },
+	"fig8d":        func(c Config) (any, error) { return Fig8d(c) },
+	"taxonomy":     func(c Config) (any, error) { return Taxonomy(c) },
+
+	// Extensions beyond the paper's figures (future-work capabilities).
+	"ext-defense":   func(c Config) (any, error) { return ExtDefense(c) },
+	"ext-privacy":   func(c Config) (any, error) { return ExtPrivacy(c) },
+	"ext-federated": func(c Config) (any, error) { return ExtFederated(c) },
+}
+
+// Run executes one experiment by id.
+func Run(id string, cfg Config) (any, error) {
+	fn, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return fn(cfg)
+}
+
+// TaxonomyResult summarizes the Fig. 1 / Fig. 3 registries.
+type TaxonomyResult struct {
+	Attacks         []core.Attack        `json:"attacks"`
+	Vulnerabilities []core.Vulnerability `json:"vulnerabilities"`
+}
+
+// Taxonomy validates and prints the encoded attack/vulnerability
+// taxonomies of Figs. 1 and 3.
+func Taxonomy(cfg Config) (TaxonomyResult, error) {
+	if err := core.ValidateTaxonomy(); err != nil {
+		return TaxonomyResult{}, err
+	}
+	res := TaxonomyResult{Attacks: core.Attacks(), Vulnerabilities: core.Vulnerabilities()}
+	w := cfg.out()
+	fmt.Fprintf(w, "\nFig 1: attack taxonomy (%d attacks)\n", len(res.Attacks))
+	fmt.Fprintf(w, "%-34s %-22s %-9s %s\n", "attack", "class", "stage", "algorithms")
+	for _, a := range res.Attacks {
+		fmt.Fprintf(w, "%-34s %-22s %-9s %v\n", a.Name, a.Class, a.Stage, a.Algorithms)
+	}
+	fmt.Fprintf(w, "\nFig 3: vulnerability taxonomy (%d entries)\n", len(res.Vulnerabilities))
+	for _, stage := range []pipeline.Stage{
+		pipeline.StageCollect, pipeline.StageLabel, pipeline.StageTrain,
+		pipeline.StageEvaluate, pipeline.StageDeploy, pipeline.StageMonitor,
+	} {
+		for _, v := range core.VulnerabilitiesAtStage(stage) {
+			fmt.Fprintf(w, "%-10s %-36s %-15s %s\n", stage, v.Name, v.CIA, v.Description)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,126 @@
+// Package fairness implements the group-fairness metrics SPATIAL's
+// fairness sensor publishes: demographic parity, disparate impact, equal
+// opportunity and equalized odds over a binary protected attribute —
+// the loan-application scenario the paper uses to motivate per-application
+// fairness analysis (§VIII).
+package fairness
+
+import (
+	"fmt"
+	"math"
+)
+
+// GroupStat summarizes one protected group's outcomes.
+type GroupStat struct {
+	Group        string  `json:"group"`
+	N            int     `json:"n"`
+	PositiveRate float64 `json:"positiveRate"` // P(pred=+ | group)
+	TPR          float64 `json:"tpr"`          // P(pred=+ | truth=+, group)
+	FPR          float64 `json:"fpr"`          // P(pred=+ | truth=-, group)
+}
+
+// Report holds the fairness metrics between two groups.
+type Report struct {
+	// DemographicParityDiff is |P(+|A) − P(+|B)| of predictions.
+	DemographicParityDiff float64 `json:"demographicParityDiff"`
+	// DisparateImpactRatio is min(P+)/max(P+) across groups (the
+	// "80% rule" reads this ratio; 1 = parity).
+	DisparateImpactRatio float64 `json:"disparateImpactRatio"`
+	// EqualOpportunityDiff is |TPR_A − TPR_B|.
+	EqualOpportunityDiff float64 `json:"equalOpportunityDiff"`
+	// EqualizedOddsDiff is max(|TPR_A−TPR_B|, |FPR_A−FPR_B|).
+	EqualizedOddsDiff float64     `json:"equalizedOddsDiff"`
+	Groups            []GroupStat `json:"groups"`
+}
+
+// Evaluate computes the fairness report of binary predictions against a
+// binary protected attribute. pred, truth and group must be aligned;
+// positive is the favourable class index (e.g. "approved"); group values
+// must be 0 or 1.
+func Evaluate(pred, truth, group []int, positive int, groupNames [2]string) (Report, error) {
+	n := len(pred)
+	if n == 0 {
+		return Report{}, fmt.Errorf("fairness: no samples")
+	}
+	if len(truth) != n || len(group) != n {
+		return Report{}, fmt.Errorf("fairness: misaligned inputs (%d/%d/%d)", n, len(truth), len(group))
+	}
+	type counts struct {
+		n, pos, truthPos, tp, truthNeg, fp int
+	}
+	var g [2]counts
+	for i := 0; i < n; i++ {
+		gi := group[i]
+		if gi != 0 && gi != 1 {
+			return Report{}, fmt.Errorf("fairness: group value %d at row %d (must be 0 or 1)", gi, i)
+		}
+		c := &g[gi]
+		c.n++
+		predPos := pred[i] == positive
+		truthPos := truth[i] == positive
+		if predPos {
+			c.pos++
+		}
+		if truthPos {
+			c.truthPos++
+			if predPos {
+				c.tp++
+			}
+		} else {
+			c.truthNeg++
+			if predPos {
+				c.fp++
+			}
+		}
+	}
+	if g[0].n == 0 || g[1].n == 0 {
+		return Report{}, fmt.Errorf("fairness: both groups need samples (have %d/%d)", g[0].n, g[1].n)
+	}
+
+	stat := func(idx int, name string) GroupStat {
+		c := g[idx]
+		return GroupStat{
+			Group:        name,
+			N:            c.n,
+			PositiveRate: ratio(c.pos, c.n),
+			TPR:          ratio(c.tp, c.truthPos),
+			FPR:          ratio(c.fp, c.truthNeg),
+		}
+	}
+	a, b := stat(0, groupNames[0]), stat(1, groupNames[1])
+
+	rep := Report{
+		DemographicParityDiff: math.Abs(a.PositiveRate - b.PositiveRate),
+		EqualOpportunityDiff:  math.Abs(a.TPR - b.TPR),
+		Groups:                []GroupStat{a, b},
+	}
+	rep.EqualizedOddsDiff = math.Max(rep.EqualOpportunityDiff, math.Abs(a.FPR-b.FPR))
+	lo, hi := a.PositiveRate, b.PositiveRate
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi == 0 {
+		rep.DisparateImpactRatio = 1 // nobody approved anywhere: parity
+	} else {
+		rep.DisparateImpactRatio = lo / hi
+	}
+	return rep, nil
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Score normalizes a report into the [0, 1] sensor value SPATIAL's
+// fairness sensor publishes (1 = no measured disparity). It takes the
+// worst of demographic parity and equalized odds.
+func Score(r Report) float64 {
+	worst := math.Max(r.DemographicParityDiff, r.EqualizedOddsDiff)
+	if worst >= 1 {
+		return 0
+	}
+	return 1 - worst
+}

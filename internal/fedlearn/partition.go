@@ -1,0 +1,129 @@
+package fedlearn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// PartitionDirichlet splits a dataset into n label-skewed client shards:
+// each class's samples are distributed across clients according to a
+// Dirichlet(alpha) draw. Small alpha (e.g. 0.1) produces the severe
+// non-IID skew that stresses federated averaging; large alpha approaches
+// the IID split.
+func PartitionDirichlet(t *dataset.Table, n int, alpha float64, seed int64) ([]Client, error) {
+	if n < 1 || n > t.Len() {
+		return nil, fmt.Errorf("fedlearn: cannot split %d samples into %d shards", t.Len(), n)
+	}
+	if alpha <= 0 {
+		return nil, fmt.Errorf("fedlearn: alpha must be positive, got %v", alpha)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	byClass := make([][]int, t.NumClasses())
+	for i, y := range t.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+
+	shardIdx := make([][]int, n)
+	for _, members := range byClass {
+		if len(members) == 0 {
+			continue
+		}
+		rng.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
+		props := dirichlet(rng, alpha, n)
+		// Convert proportions to cumulative cut points.
+		start := 0
+		acc := 0.0
+		for c := 0; c < n; c++ {
+			acc += props[c]
+			end := int(math.Round(acc * float64(len(members))))
+			if c == n-1 {
+				end = len(members)
+			}
+			if end > start {
+				shardIdx[c] = append(shardIdx[c], members[start:end]...)
+				start = end
+			}
+		}
+	}
+
+	clients := make([]Client, 0, n)
+	for c := 0; c < n; c++ {
+		if len(shardIdx[c]) == 0 {
+			// Guarantee non-empty shards: borrow one sample from the
+			// largest shard.
+			largest := 0
+			for k := range shardIdx {
+				if len(shardIdx[k]) > len(shardIdx[largest]) {
+					largest = k
+				}
+			}
+			if len(shardIdx[largest]) < 2 {
+				return nil, fmt.Errorf("fedlearn: not enough samples for %d non-empty shards", n)
+			}
+			last := len(shardIdx[largest]) - 1
+			shardIdx[c] = append(shardIdx[c], shardIdx[largest][last])
+			shardIdx[largest] = shardIdx[largest][:last]
+		}
+		clients = append(clients, Client{
+			Name: fmt.Sprintf("client-%02d", c),
+			Data: t.Subset(shardIdx[c]),
+		})
+	}
+	return clients, nil
+}
+
+// dirichlet samples a symmetric Dirichlet(alpha) vector of length n via
+// normalized Gamma(alpha, 1) draws.
+func dirichlet(rng *rand.Rand, alpha float64, n int) []float64 {
+	out := make([]float64, n)
+	var sum float64
+	for i := range out {
+		out[i] = gammaSample(rng, alpha)
+		sum += out[i]
+	}
+	if sum == 0 {
+		uniform := 1 / float64(n)
+		for i := range out {
+			out[i] = uniform
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// gammaSample draws from Gamma(shape, 1) with the Marsaglia–Tsang method
+// (boosted for shape < 1).
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

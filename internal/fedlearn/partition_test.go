@@ -1,0 +1,80 @@
+package fedlearn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPartitionDirichletCoversAllSamples(t *testing.T) {
+	data := blobs(20, 400)
+	clients, err := PartitionDirichlet(data, 8, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range clients {
+		if c.Data.Len() == 0 {
+			t.Fatal("empty shard")
+		}
+		total += c.Data.Len()
+	}
+	if total != 400 {
+		t.Fatalf("shards cover %d of 400", total)
+	}
+}
+
+// labelSkew measures the mean absolute deviation of per-client class-0
+// fraction from the global fraction.
+func labelSkew(clients []Client) float64 {
+	var skew float64
+	for _, c := range clients {
+		counts := c.Data.ClassCounts()
+		frac := float64(counts[0]) / float64(c.Data.Len())
+		skew += math.Abs(frac - 0.5)
+	}
+	return skew / float64(len(clients))
+}
+
+func TestDirichletSkewGrowsAsAlphaShrinks(t *testing.T) {
+	data := blobs(21, 600)
+	skewed, err := PartitionDirichlet(data, 6, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mild, err := PartitionDirichlet(data, 6, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labelSkew(skewed) <= labelSkew(mild) {
+		t.Fatalf("alpha=0.1 skew %.3f should exceed alpha=100 skew %.3f",
+			labelSkew(skewed), labelSkew(mild))
+	}
+}
+
+func TestPartitionDirichletValidation(t *testing.T) {
+	data := blobs(22, 50)
+	if _, err := PartitionDirichlet(data, 0, 1, 1); err == nil {
+		t.Fatal("expected shard-count error")
+	}
+	if _, err := PartitionDirichlet(data, 5, 0, 1); err == nil {
+		t.Fatal("expected alpha error")
+	}
+}
+
+// TestFedAvgStillLearnsUnderNonIID: non-IID shards slow FedAvg but must
+// not break it on this easy task.
+func TestFedAvgStillLearnsUnderNonIID(t *testing.T) {
+	data := blobs(23, 600)
+	clients, err := PartitionDirichlet(data, 6, 0.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := newGlobalLR(t, data.NumFeatures(), data.NumClasses())
+	stats, err := Run(global, localLRFactory, clients, data, Config{Rounds: 15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := stats[len(stats)-1].EvalAccuracy; final < 0.9 {
+		t.Fatalf("non-IID FedAvg accuracy %.3f", final)
+	}
+}

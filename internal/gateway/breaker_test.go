@@ -1,0 +1,94 @@
+package gateway
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCircuitBreakerHalfOpenRecovery: after the cooldown the breaker lets
+// a probe request through; a success closes the circuit again.
+func TestCircuitBreakerHalfOpenRecovery(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			return
+		}
+		if failing.Load() {
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer backend.Close()
+
+	g := New(Config{BreakerThreshold: 2, BreakerCooldown: 50 * time.Millisecond})
+	if err := g.AddRoute("/svc", RoundRobin, backend.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	// Trip the breaker.
+	for i := 0; i < 2; i++ {
+		if code, _ := get(t, g, "/svc/x", nil); code != http.StatusBadGateway {
+			t.Fatalf("expected 502, got %d", code)
+		}
+	}
+	if code, _ := get(t, g, "/svc/x", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("breaker not open: %d", code)
+	}
+
+	// Heal the backend; after the cooldown the probe succeeds and the
+	// circuit closes.
+	failing.Store(false)
+	time.Sleep(80 * time.Millisecond)
+	if code, _ := get(t, g, "/svc/x", nil); code != http.StatusOK {
+		t.Fatalf("half-open probe failed: %d", code)
+	}
+	// Fully closed: subsequent requests flow.
+	for i := 0; i < 3; i++ {
+		if code, _ := get(t, g, "/svc/x", nil); code != http.StatusOK {
+			t.Fatalf("post-recovery request %d failed: %d", i, code)
+		}
+	}
+}
+
+// TestCircuitBreakerReopensAfterFailedProbe: a failing probe during
+// half-open re-opens the circuit immediately.
+func TestCircuitBreakerReopensAfterFailedProbe(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			return
+		}
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err == nil {
+			conn.Close()
+		}
+	}))
+	defer backend.Close()
+
+	g := New(Config{BreakerThreshold: 2, BreakerCooldown: 50 * time.Millisecond})
+	if err := g.AddRoute("/svc", RoundRobin, backend.URL); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		get(t, g, "/svc/x", nil)
+	}
+	if code, _ := get(t, g, "/svc/x", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("breaker not open: %d", code)
+	}
+	time.Sleep(80 * time.Millisecond)
+	// Probe goes through to the (still broken) upstream -> 502 and the
+	// breaker re-opens at once (threshold already primed).
+	if code, _ := get(t, g, "/svc/x", nil); code != http.StatusBadGateway {
+		t.Fatalf("expected probe 502, got %d", code)
+	}
+	if code, _ := get(t, g, "/svc/x", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("breaker should re-open after failed probe: %d", code)
+	}
+}

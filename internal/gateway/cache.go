@@ -1,0 +1,107 @@
+package gateway
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"io"
+	"net/http"
+	"time"
+)
+
+// responseCache is an LRU+TTL cache over full upstream responses. SPATIAL
+// sensors poll the metric services with identical payloads ("requesting
+// micro-service functionality periodically", §V); the metric computations
+// are pure functions of the request body, so byte-identical requests can
+// be answered from cache instead of recomputing a SHAP explanation.
+type responseCache struct {
+	ttl time.Duration
+	max int
+
+	// guarded by the owning Gateway's cacheMu
+	entries map[string]*list.Element
+	order   *list.List // front = most recent
+	now     func() time.Time
+}
+
+type cacheEntry struct {
+	key         string
+	status      int
+	contentType string
+	body        []byte
+	expires     time.Time
+}
+
+func newResponseCache(ttl time.Duration, maxEntries int) *responseCache {
+	if maxEntries <= 0 {
+		maxEntries = 1024
+	}
+	return &responseCache{
+		ttl:     ttl,
+		max:     maxEntries,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+		now:     time.Now,
+	}
+}
+
+func (c *responseCache) get(key string) (*cacheEntry, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	entry := el.Value.(*cacheEntry)
+	if c.now().After(entry.expires) {
+		c.order.Remove(el)
+		delete(c.entries, key)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return entry, true
+}
+
+func (c *responseCache) put(entry *cacheEntry) {
+	if el, ok := c.entries[entry.key]; ok {
+		c.order.Remove(el)
+		delete(c.entries, entry.key)
+	}
+	entry.expires = c.now().Add(c.ttl)
+	c.entries[entry.key] = c.order.PushFront(entry)
+	for len(c.entries) > c.max {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// cacheKey hashes method, path and body.
+func cacheKey(method, path string, body []byte) string {
+	h := sha256.New()
+	io.WriteString(h, method)
+	io.WriteString(h, "|")
+	io.WriteString(h, path)
+	io.WriteString(h, "|")
+	h.Write(body)
+	return string(h.Sum(nil))
+}
+
+// cacheRecorder captures an upstream response for caching while streaming
+// it to the client.
+type cacheRecorder struct {
+	http.ResponseWriter
+	status int
+	buf    bytes.Buffer
+}
+
+func (r *cacheRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *cacheRecorder) Write(p []byte) (int, error) {
+	r.buf.Write(p)
+	return r.ResponseWriter.Write(p)
+}

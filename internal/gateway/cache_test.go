@@ -1,0 +1,149 @@
+package gateway
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func postBody(t *testing.T, gw http.Handler, path, body string) (int, string, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	gw.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String(), rec.Header().Get("X-Cache")
+}
+
+func countingBackend(calls *atomic.Int64) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			return
+		}
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"n":` + r.URL.Path[1:] + `}`))
+	}))
+}
+
+func TestResponseCacheServesIdenticalRequests(t *testing.T) {
+	var calls atomic.Int64
+	b := countingBackend(&calls)
+	defer b.Close()
+	g := New(Config{CacheTTL: time.Minute})
+	if err := g.AddRoute("/svc", RoundRobin, b.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body1, xc := postBody(t, g, "/svc/7", `{"q":1}`)
+	if code != 200 || xc == "hit" {
+		t.Fatalf("first request: %d %q", code, xc)
+	}
+	code, body2, xc := postBody(t, g, "/svc/7", `{"q":1}`)
+	if code != 200 || xc != "hit" {
+		t.Fatalf("second request should hit cache: %d %q", code, xc)
+	}
+	if body1 != body2 {
+		t.Fatalf("cached body differs: %q vs %q", body1, body2)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("backend called %d times, want 1", calls.Load())
+	}
+	hits, misses := g.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("cache stats %d/%d", hits, misses)
+	}
+}
+
+func TestResponseCacheKeyIncludesBodyAndPath(t *testing.T) {
+	var calls atomic.Int64
+	b := countingBackend(&calls)
+	defer b.Close()
+	g := New(Config{CacheTTL: time.Minute})
+	if err := g.AddRoute("/svc", RoundRobin, b.URL); err != nil {
+		t.Fatal(err)
+	}
+	postBody(t, g, "/svc/1", `{"q":1}`)
+	postBody(t, g, "/svc/1", `{"q":2}`) // different body
+	postBody(t, g, "/svc/2", `{"q":1}`) // different path
+	if calls.Load() != 3 {
+		t.Fatalf("backend called %d times, want 3 (no false hits)", calls.Load())
+	}
+}
+
+func TestResponseCacheTTLExpiry(t *testing.T) {
+	var calls atomic.Int64
+	b := countingBackend(&calls)
+	defer b.Close()
+	g := New(Config{CacheTTL: time.Minute})
+	if err := g.AddRoute("/svc", RoundRobin, b.URL); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	g.cache.now = func() time.Time { return now }
+
+	postBody(t, g, "/svc/1", "x")
+	now = now.Add(2 * time.Minute)
+	_, _, xc := postBody(t, g, "/svc/1", "x")
+	if xc == "hit" {
+		t.Fatal("expired entry served")
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("backend called %d times, want 2", calls.Load())
+	}
+}
+
+func TestResponseCacheLRUEviction(t *testing.T) {
+	c := newResponseCache(time.Minute, 2)
+	put := func(key string) {
+		c.put(&cacheEntry{key: key, status: 200, body: []byte(key)})
+	}
+	put("a")
+	put("b")
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	put("c") // evicts b (least recently used)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should be evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should survive (recently used)")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing")
+	}
+}
+
+func TestCacheDisabledByDefault(t *testing.T) {
+	var calls atomic.Int64
+	b := countingBackend(&calls)
+	defer b.Close()
+	g := New(Config{})
+	if err := g.AddRoute("/svc", RoundRobin, b.URL); err != nil {
+		t.Fatal(err)
+	}
+	postBody(t, g, "/svc/1", "x")
+	postBody(t, g, "/svc/1", "x")
+	if calls.Load() != 2 {
+		t.Fatalf("backend called %d times, want 2 without cache", calls.Load())
+	}
+}
+
+func TestCacheDoesNotStoreErrors(t *testing.T) {
+	fail := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusUnprocessableEntity)
+	}))
+	defer fail.Close()
+	g := New(Config{CacheTTL: time.Minute})
+	if err := g.AddRoute("/svc", RoundRobin, fail.URL); err != nil {
+		t.Fatal(err)
+	}
+	postBody(t, g, "/svc/1", "x")
+	_, _, xc := postBody(t, g, "/svc/1", "x")
+	if xc == "hit" {
+		t.Fatal("error response was cached")
+	}
+}

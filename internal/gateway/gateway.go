@@ -1,0 +1,499 @@
+// Package gateway implements the micro-service API gateway SPATIAL fronts
+// its metric services with (the paper deploys Kong). It provides prefix
+// routing, round-robin and least-connections load balancing, active health
+// checks, token-bucket rate limiting, API-key authentication, per-route
+// latency metrics, and a per-upstream circuit breaker.
+package gateway
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Balancing selects the load-balancing policy of a route.
+type Balancing int
+
+// Balancing policies.
+const (
+	RoundRobin Balancing = iota + 1
+	LeastConnections
+)
+
+// Config parameterizes the gateway.
+type Config struct {
+	// APIKeys, when non-empty, enables X-API-Key authentication.
+	APIKeys []string
+	// RatePerSecond and Burst configure the per-client token bucket;
+	// RatePerSecond <= 0 disables rate limiting.
+	RatePerSecond float64
+	Burst         int
+	// HealthInterval is the active health-check period (default 1s,
+	// used by Start).
+	HealthInterval time.Duration
+	// BreakerThreshold is the number of consecutive upstream failures
+	// that opens the circuit (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects an upstream
+	// before retrying it (default 5s).
+	BreakerCooldown time.Duration
+	// CacheTTL > 0 enables the response cache: byte-identical GET/POST
+	// requests within the TTL are answered from cache. Safe here because
+	// the metric services are pure functions of the request body; do not
+	// enable in front of stateful endpoints.
+	CacheTTL time.Duration
+	// CacheMaxEntries bounds the cache (default 1024).
+	CacheMaxEntries int
+}
+
+// upstream is one backend instance of a route.
+type upstream struct {
+	target  *url.URL
+	proxy   *httputil.ReverseProxy
+	healthy atomic.Bool
+	// conns counts in-flight requests (least-connections policy).
+	conns atomic.Int64
+	// consecutive proxy failures and the breaker deadline.
+	fails     atomic.Int32
+	openUntil atomic.Int64 // unix nanos; 0 = closed
+}
+
+func (u *upstream) available(now time.Time, threshold int32) bool {
+	if !u.healthy.Load() {
+		return false
+	}
+	if openUntil := u.openUntil.Load(); openUntil != 0 {
+		if now.UnixNano() < openUntil {
+			return false
+		}
+		// Half-open: allow a probe request through.
+		u.openUntil.Store(0)
+		u.fails.Store(threshold - 1)
+	}
+	return true
+}
+
+// route maps a path prefix onto a backend pool.
+type route struct {
+	prefix    string
+	policy    Balancing
+	upstreams []*upstream
+	rr        atomic.Uint64
+
+	// metrics
+	requests  atomic.Int64
+	errors    atomic.Int64
+	totalNano atomic.Int64
+}
+
+// Gateway is the HTTP entry point. Create with New, register routes with
+// AddRoute, then serve. Start launches the active health checker; Stop
+// shuts it down.
+type Gateway struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	routes []*route
+
+	limiter *rateLimiter
+	keys    map[string]struct{}
+
+	cacheMu   sync.Mutex
+	cache     *responseCache
+	cacheHits atomic.Int64
+	cacheMiss atomic.Int64
+
+	started  atomic.Bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// New constructs a gateway.
+func New(cfg Config) *Gateway {
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = time.Second
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
+	g := &Gateway{
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if len(cfg.APIKeys) > 0 {
+		g.keys = make(map[string]struct{}, len(cfg.APIKeys))
+		for _, k := range cfg.APIKeys {
+			g.keys[k] = struct{}{}
+		}
+	}
+	if cfg.CacheTTL > 0 {
+		g.cache = newResponseCache(cfg.CacheTTL, cfg.CacheMaxEntries)
+	}
+	if cfg.RatePerSecond > 0 {
+		burst := cfg.Burst
+		if burst <= 0 {
+			burst = int(cfg.RatePerSecond)
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		g.limiter = newRateLimiter(cfg.RatePerSecond, burst)
+	}
+	return g
+}
+
+// AddRoute registers a prefix route over one or more backend base URLs.
+// The prefix is stripped before forwarding: /shap/explain with prefix
+// /shap reaches the backend as /explain.
+func (g *Gateway) AddRoute(prefix string, policy Balancing, backends ...string) error {
+	if !strings.HasPrefix(prefix, "/") || prefix == "/" {
+		return fmt.Errorf("gateway: invalid route prefix %q", prefix)
+	}
+	if len(backends) == 0 {
+		return errors.New("gateway: route needs at least one backend")
+	}
+	if policy != RoundRobin && policy != LeastConnections {
+		return fmt.Errorf("gateway: unknown balancing policy %d", policy)
+	}
+	rt := &route{prefix: strings.TrimSuffix(prefix, "/"), policy: policy}
+	for _, b := range backends {
+		target, err := url.Parse(b)
+		if err != nil {
+			return fmt.Errorf("gateway: backend %q: %w", b, err)
+		}
+		if target.Scheme == "" || target.Host == "" {
+			return fmt.Errorf("gateway: backend %q must be an absolute URL", b)
+		}
+		u := &upstream{target: target}
+		u.healthy.Store(true) // optimistic until the first health check
+		proxy := httputil.NewSingleHostReverseProxy(target)
+		proxy.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+			g.onUpstreamFailure(u)
+			http.Error(w, fmt.Sprintf("upstream error: %v", err), http.StatusBadGateway)
+		}
+		u.proxy = proxy
+		rt.upstreams = append(rt.upstreams, u)
+	}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, existing := range g.routes {
+		if existing.prefix == rt.prefix {
+			return fmt.Errorf("gateway: route %q already registered", rt.prefix)
+		}
+	}
+	g.routes = append(g.routes, rt)
+	// Longest prefix first so /explain/image wins over /explain.
+	sort.Slice(g.routes, func(i, j int) bool { return len(g.routes[i].prefix) > len(g.routes[j].prefix) })
+	return nil
+}
+
+func (g *Gateway) onUpstreamFailure(u *upstream) {
+	if int(u.fails.Add(1)) >= g.cfg.BreakerThreshold {
+		u.openUntil.Store(time.Now().Add(g.cfg.BreakerCooldown).UnixNano())
+	}
+}
+
+func (g *Gateway) match(path string) *route {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, rt := range g.routes {
+		if strings.HasPrefix(path, rt.prefix) {
+			rest := path[len(rt.prefix):]
+			if rest == "" || rest[0] == '/' {
+				return rt
+			}
+		}
+	}
+	return nil
+}
+
+// pick selects an available upstream per the route policy.
+func (g *Gateway) pick(rt *route) *upstream {
+	now := time.Now()
+	threshold := int32(g.cfg.BreakerThreshold)
+	candidates := make([]*upstream, 0, len(rt.upstreams))
+	for _, u := range rt.upstreams {
+		if u.available(now, threshold) {
+			candidates = append(candidates, u)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	switch rt.policy {
+	case LeastConnections:
+		best := candidates[0]
+		for _, u := range candidates[1:] {
+			if u.conns.Load() < best.conns.Load() {
+				best = u
+			}
+		}
+		return best
+	default: // RoundRobin
+		return candidates[rt.rr.Add(1)%uint64(len(candidates))]
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/gateway/healthz":
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"status":"ok","routes":%d}`, len(g.RouteMetrics()))
+		return
+	case "/gateway/metrics":
+		g.serveMetrics(w)
+		return
+	}
+
+	if g.keys != nil {
+		if _, ok := g.keys[r.Header.Get("X-API-Key")]; !ok {
+			http.Error(w, "invalid or missing API key", http.StatusUnauthorized)
+			return
+		}
+	}
+	if g.limiter != nil && !g.limiter.allow(clientKey(r)) {
+		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+		return
+	}
+
+	rt := g.match(r.URL.Path)
+	if rt == nil {
+		http.Error(w, "no route", http.StatusNotFound)
+		return
+	}
+	u := g.pick(rt)
+	if u == nil {
+		http.Error(w, "no healthy upstream", http.StatusServiceUnavailable)
+		return
+	}
+
+	// Strip the route prefix.
+	r2 := r.Clone(r.Context())
+	r2.URL.Path = strings.TrimPrefix(r.URL.Path, rt.prefix)
+	if r2.URL.Path == "" {
+		r2.URL.Path = "/"
+	}
+
+	// Response cache: answer byte-identical requests within the TTL
+	// without touching the upstream.
+	var key string
+	cacheable := g.cache != nil && (r.Method == http.MethodGet || r.Method == http.MethodPost)
+	if cacheable {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, "read request body", http.StatusBadRequest)
+			return
+		}
+		r2.Body = io.NopCloser(bytes.NewReader(body))
+		r2.ContentLength = int64(len(body))
+		key = cacheKey(r.Method, r.URL.Path, body)
+		g.cacheMu.Lock()
+		entry, hit := g.cache.get(key)
+		g.cacheMu.Unlock()
+		if hit {
+			g.cacheHits.Add(1)
+			rt.requests.Add(1)
+			if entry.contentType != "" {
+				w.Header().Set("Content-Type", entry.contentType)
+			}
+			w.Header().Set("X-Cache", "hit")
+			w.WriteHeader(entry.status)
+			if _, err := w.Write(entry.body); err != nil {
+				return
+			}
+			return
+		}
+		g.cacheMiss.Add(1)
+	}
+
+	start := time.Now()
+	u.conns.Add(1)
+	var rec interface {
+		http.ResponseWriter
+	}
+	var status *int
+	if cacheable {
+		cr := &cacheRecorder{ResponseWriter: w, status: http.StatusOK}
+		rec = cr
+		status = &cr.status
+		defer func() {
+			if cr.status == http.StatusOK {
+				g.cacheMu.Lock()
+				g.cache.put(&cacheEntry{
+					key:         key,
+					status:      cr.status,
+					contentType: cr.Header().Get("Content-Type"),
+					body:        append([]byte(nil), cr.buf.Bytes()...),
+				})
+				g.cacheMu.Unlock()
+			}
+		}()
+	} else {
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		rec = sr
+		status = &sr.status
+	}
+	u.proxy.ServeHTTP(rec, r2)
+	u.conns.Add(-1)
+
+	rt.requests.Add(1)
+	rt.totalNano.Add(time.Since(start).Nanoseconds())
+	if *status >= 500 {
+		rt.errors.Add(1)
+	} else {
+		u.fails.Store(0)
+	}
+}
+
+// CacheStats reports (hits, misses) of the response cache.
+func (g *Gateway) CacheStats() (hits, misses int64) {
+	return g.cacheHits.Load(), g.cacheMiss.Load()
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	return r.RemoteAddr
+}
+
+// RouteMetric is the exported per-route statistics record.
+type RouteMetric struct {
+	Prefix        string           `json:"prefix"`
+	Requests      int64            `json:"requests"`
+	Errors        int64            `json:"errors"`
+	MeanLatencyMs float64          `json:"meanLatencyMs"`
+	Upstreams     []UpstreamStatus `json:"upstreams"`
+}
+
+// UpstreamStatus reports one backend's health.
+type UpstreamStatus struct {
+	URL         string `json:"url"`
+	Healthy     bool   `json:"healthy"`
+	BreakerOpen bool   `json:"breakerOpen"`
+	InFlight    int64  `json:"inFlight"`
+}
+
+// RouteMetrics snapshots per-route statistics.
+func (g *Gateway) RouteMetrics() []RouteMetric {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	now := time.Now().UnixNano()
+	out := make([]RouteMetric, 0, len(g.routes))
+	for _, rt := range g.routes {
+		m := RouteMetric{
+			Prefix:   rt.prefix,
+			Requests: rt.requests.Load(),
+			Errors:   rt.errors.Load(),
+		}
+		if m.Requests > 0 {
+			m.MeanLatencyMs = float64(rt.totalNano.Load()) / float64(m.Requests) / 1e6
+		}
+		for _, u := range rt.upstreams {
+			m.Upstreams = append(m.Upstreams, UpstreamStatus{
+				URL:         u.target.String(),
+				Healthy:     u.healthy.Load(),
+				BreakerOpen: u.openUntil.Load() > now,
+				InFlight:    u.conns.Load(),
+			})
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func (g *Gateway) serveMetrics(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	metrics := g.RouteMetrics()
+	fmt.Fprint(w, "[")
+	for i, m := range metrics {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		fmt.Fprintf(w, `{"prefix":%q,"requests":%d,"errors":%d,"meanLatencyMs":%.3f}`,
+			m.Prefix, m.Requests, m.Errors, m.MeanLatencyMs)
+	}
+	fmt.Fprint(w, "]")
+}
+
+// Start launches the active health checker. Call Stop to shut it down.
+func (g *Gateway) Start() {
+	if !g.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(g.done)
+		ticker := time.NewTicker(g.cfg.HealthInterval)
+		defer ticker.Stop()
+		// The probe timeout is decoupled from the probe period: under
+		// CPU saturation a busy-but-healthy service can take far longer
+		// than the check interval to answer /healthz, and flapping it
+		// unhealthy would turn overload into an outage.
+		probeTimeout := g.cfg.HealthInterval
+		if probeTimeout < 3*time.Second {
+			probeTimeout = 3 * time.Second
+		}
+		client := &http.Client{Timeout: probeTimeout}
+		for {
+			select {
+			case <-ticker.C:
+				g.checkHealth(client)
+			case <-g.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop terminates the health checker and waits for it to exit. It is safe
+// to call multiple times, and safe to call even if Start was never called
+// (the health goroutine simply never ran).
+func (g *Gateway) Stop() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	if !g.started.Load() {
+		return
+	}
+	<-g.done
+}
+
+func (g *Gateway) checkHealth(client *http.Client) {
+	g.mu.RLock()
+	routes := append([]*route(nil), g.routes...)
+	g.mu.RUnlock()
+	for _, rt := range routes {
+		for _, u := range rt.upstreams {
+			resp, err := client.Get(u.target.String() + "/healthz")
+			ok := err == nil && resp.StatusCode == http.StatusOK
+			if resp != nil {
+				resp.Body.Close()
+			}
+			u.healthy.Store(ok)
+		}
+	}
+}

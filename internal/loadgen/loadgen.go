@@ -1,0 +1,295 @@
+// Package loadgen is the capacity-testing harness standing in for the
+// paper's JMeter setup: thread groups with ramp-up periods drive a sampler
+// concurrently, and listeners aggregate response times, throughput, and
+// error rates (the "Summary Report" and "Response Times Over Active
+// Threads" views the paper reads its fig-8 results from).
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sampler issues one request and reports success.
+type Sampler interface {
+	Sample(ctx context.Context) error
+}
+
+// SamplerFunc adapts a function to Sampler.
+type SamplerFunc func(ctx context.Context) error
+
+// Sample implements Sampler.
+func (f SamplerFunc) Sample(ctx context.Context) error { return f(ctx) }
+
+// HTTPSampler posts a fixed body to a URL, the typical JMeter "HTTP
+// Request" sampler.
+type HTTPSampler struct {
+	Method string
+	URL    string
+	Body   []byte
+	Header http.Header
+	Client *http.Client
+}
+
+// Sample implements Sampler.
+func (s *HTTPSampler) Sample(ctx context.Context) error {
+	client := s.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	method := s.Method
+	if method == "" {
+		method = http.MethodGet
+	}
+	var body io.Reader
+	if len(s.Body) > 0 {
+		body = strings.NewReader(string(s.Body))
+	}
+	req, err := http.NewRequestWithContext(ctx, method, s.URL, body)
+	if err != nil {
+		return err
+	}
+	for k, vs := range s.Header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// ThreadGroup configures one load phase, mirroring JMeter's thread group.
+type ThreadGroup struct {
+	// Threads is the number of concurrent virtual users.
+	Threads int
+	// RampUp is the period over which threads start (thread i starts at
+	// i/Threads · RampUp).
+	RampUp time.Duration
+	// Iterations is the number of samples each thread performs. Exactly
+	// one of Iterations and Duration must be set.
+	Iterations int
+	// Duration, when set, makes each thread sample until the deadline
+	// (measured from run start) instead of counting iterations.
+	Duration time.Duration
+}
+
+// Sample is one recorded request.
+type Sample struct {
+	Start         time.Time
+	Latency       time.Duration
+	Err           error
+	ActiveThreads int
+	Thread        int
+}
+
+// Results collects samples from one run.
+type Results struct {
+	Samples []Sample
+	Wall    time.Duration
+}
+
+// Run drives the sampler with the thread group until every thread
+// completes its iterations or ctx is cancelled.
+func Run(ctx context.Context, group ThreadGroup, sampler Sampler) (*Results, error) {
+	if group.Threads <= 0 {
+		return nil, errors.New("loadgen: Threads must be positive")
+	}
+	if (group.Iterations <= 0) == (group.Duration <= 0) {
+		return nil, errors.New("loadgen: set exactly one of Iterations and Duration")
+	}
+	if sampler == nil {
+		return nil, errors.New("loadgen: nil sampler")
+	}
+
+	var (
+		active  atomic.Int64
+		mu      sync.Mutex
+		samples []Sample
+		wg      sync.WaitGroup
+	)
+	start := time.Now()
+	deadline := time.Time{}
+	if group.Duration > 0 {
+		deadline = start.Add(group.Duration)
+	}
+	for th := 0; th < group.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			// Ramp-up delay.
+			if group.RampUp > 0 && group.Threads > 1 {
+				delay := time.Duration(int64(group.RampUp) * int64(th) / int64(group.Threads))
+				select {
+				case <-time.After(delay):
+				case <-ctx.Done():
+					return
+				}
+			}
+			active.Add(1)
+			defer active.Add(-1)
+			for it := 0; group.Iterations <= 0 || it < group.Iterations; it++ {
+				if ctx.Err() != nil {
+					return
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				s := Sample{Start: time.Now(), ActiveThreads: int(active.Load()), Thread: th}
+				s.Err = sampler.Sample(ctx)
+				s.Latency = time.Since(s.Start)
+				mu.Lock()
+				samples = append(samples, s)
+				mu.Unlock()
+			}
+		}(th)
+	}
+	wg.Wait()
+	res := &Results{Samples: samples, Wall: time.Since(start)}
+	sort.Slice(res.Samples, func(i, j int) bool { return res.Samples[i].Start.Before(res.Samples[j].Start) })
+	return res, ctx.Err()
+}
+
+// Summary is the JMeter "Summary Report" equivalent.
+type Summary struct {
+	Count      int           `json:"count"`
+	Errors     int           `json:"errors"`
+	ErrorRate  float64       `json:"errorRate"`
+	Mean       time.Duration `json:"meanNs"`
+	Min        time.Duration `json:"minNs"`
+	Max        time.Duration `json:"maxNs"`
+	P50        time.Duration `json:"p50Ns"`
+	P90        time.Duration `json:"p90Ns"`
+	P95        time.Duration `json:"p95Ns"`
+	P99        time.Duration `json:"p99Ns"`
+	Throughput float64       `json:"throughputRps"`
+}
+
+// Summarize computes the summary report.
+func (r *Results) Summarize() Summary {
+	s := Summary{Count: len(r.Samples)}
+	if s.Count == 0 {
+		return s
+	}
+	lats := make([]time.Duration, 0, s.Count)
+	var total time.Duration
+	s.Min = r.Samples[0].Latency
+	for _, smp := range r.Samples {
+		if smp.Err != nil {
+			s.Errors++
+		}
+		lats = append(lats, smp.Latency)
+		total += smp.Latency
+		if smp.Latency < s.Min {
+			s.Min = smp.Latency
+		}
+		if smp.Latency > s.Max {
+			s.Max = smp.Latency
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	s.Mean = total / time.Duration(s.Count)
+	s.P50 = percentile(lats, 0.50)
+	s.P90 = percentile(lats, 0.90)
+	s.P95 = percentile(lats, 0.95)
+	s.P99 = percentile(lats, 0.99)
+	s.ErrorRate = float64(s.Errors) / float64(s.Count)
+	if r.Wall > 0 {
+		s.Throughput = float64(s.Count) / r.Wall.Seconds()
+	}
+	return s
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// ThreadPoint is one point of the "Response Times Over Active Threads"
+// listener: the mean latency observed while a given number of threads was
+// active.
+type ThreadPoint struct {
+	ActiveThreads int           `json:"activeThreads"`
+	MeanLatency   time.Duration `json:"meanLatencyNs"`
+	Count         int           `json:"count"`
+}
+
+// OverActiveThreads aggregates samples by concurrent thread count.
+func (r *Results) OverActiveThreads() []ThreadPoint {
+	type agg struct {
+		total time.Duration
+		n     int
+	}
+	byThreads := make(map[int]*agg)
+	for _, s := range r.Samples {
+		a, ok := byThreads[s.ActiveThreads]
+		if !ok {
+			a = &agg{}
+			byThreads[s.ActiveThreads] = a
+		}
+		a.total += s.Latency
+		a.n++
+	}
+	out := make([]ThreadPoint, 0, len(byThreads))
+	for k, a := range byThreads {
+		out = append(out, ThreadPoint{ActiveThreads: k, MeanLatency: a.total / time.Duration(a.n), Count: a.n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ActiveThreads < out[j].ActiveThreads })
+	return out
+}
+
+// TimeBucket is one second of the response-times-over-time series.
+type TimeBucket struct {
+	Second      int           `json:"second"`
+	MeanLatency time.Duration `json:"meanLatencyNs"`
+	Count       int           `json:"count"`
+}
+
+// OverTime aggregates samples into one-second buckets from run start.
+func (r *Results) OverTime() []TimeBucket {
+	if len(r.Samples) == 0 {
+		return nil
+	}
+	start := r.Samples[0].Start
+	type agg struct {
+		total time.Duration
+		n     int
+	}
+	buckets := make(map[int]*agg)
+	for _, s := range r.Samples {
+		sec := int(s.Start.Sub(start).Seconds())
+		a, ok := buckets[sec]
+		if !ok {
+			a = &agg{}
+			buckets[sec] = a
+		}
+		a.total += s.Latency
+		a.n++
+	}
+	out := make([]TimeBucket, 0, len(buckets))
+	for sec, a := range buckets {
+		out = append(out, TimeBucket{Second: sec, MeanLatency: a.total / time.Duration(a.n), Count: a.n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Second < out[j].Second })
+	return out
+}

@@ -1,0 +1,246 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCompletesAllIterations(t *testing.T) {
+	var calls atomic.Int64
+	res, err := Run(context.Background(), ThreadGroup{Threads: 4, Iterations: 5}, SamplerFunc(func(context.Context) error {
+		calls.Add(1)
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 20 || len(res.Samples) != 20 {
+		t.Fatalf("calls %d samples %d, want 20", calls.Load(), len(res.Samples))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s := SamplerFunc(func(context.Context) error { return nil })
+	if _, err := Run(context.Background(), ThreadGroup{Threads: 0, Iterations: 1}, s); err == nil {
+		t.Fatal("expected thread error")
+	}
+	if _, err := Run(context.Background(), ThreadGroup{Threads: 1, Iterations: 0}, s); err == nil {
+		t.Fatal("expected iteration error")
+	}
+	if _, err := Run(context.Background(), ThreadGroup{Threads: 1, Iterations: 1}, nil); err == nil {
+		t.Fatal("expected sampler error")
+	}
+}
+
+func TestRunHonorsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = Run(ctx, ThreadGroup{Threads: 2, Iterations: 1000000}, SamplerFunc(func(context.Context) error {
+			calls.Add(1)
+			time.Sleep(time.Millisecond)
+			return nil
+		}))
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not stop after cancel")
+	}
+	if calls.Load() == 0 {
+		t.Fatal("no samples before cancel")
+	}
+}
+
+func TestSummaryStatistics(t *testing.T) {
+	res := &Results{Wall: 2 * time.Second}
+	for i := 1; i <= 100; i++ {
+		var err error
+		if i%10 == 0 {
+			err = errors.New("boom")
+		}
+		res.Samples = append(res.Samples, Sample{Latency: time.Duration(i) * time.Millisecond, Err: err})
+	}
+	s := res.Summarize()
+	if s.Count != 100 || s.Errors != 10 {
+		t.Fatalf("count/errors %d/%d", s.Count, s.Errors)
+	}
+	if s.ErrorRate != 0.1 {
+		t.Fatalf("error rate %v", s.ErrorRate)
+	}
+	if s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("min/max %v/%v", s.Min, s.Max)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Fatalf("mean %v", s.Mean)
+	}
+	if s.P50 != 50*time.Millisecond {
+		t.Fatalf("p50 %v", s.P50)
+	}
+	if s.P99 != 99*time.Millisecond {
+		t.Fatalf("p99 %v", s.P99)
+	}
+	if s.Throughput != 50 {
+		t.Fatalf("throughput %v", s.Throughput)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := (&Results{}).Summarize()
+	if s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestOverActiveThreadsAggregates(t *testing.T) {
+	res := &Results{}
+	res.Samples = []Sample{
+		{ActiveThreads: 1, Latency: 10 * time.Millisecond},
+		{ActiveThreads: 1, Latency: 20 * time.Millisecond},
+		{ActiveThreads: 2, Latency: 40 * time.Millisecond},
+	}
+	pts := res.OverActiveThreads()
+	if len(pts) != 2 {
+		t.Fatalf("points %d", len(pts))
+	}
+	if pts[0].ActiveThreads != 1 || pts[0].MeanLatency != 15*time.Millisecond || pts[0].Count != 2 {
+		t.Fatalf("point0 %+v", pts[0])
+	}
+	if pts[1].ActiveThreads != 2 || pts[1].MeanLatency != 40*time.Millisecond {
+		t.Fatalf("point1 %+v", pts[1])
+	}
+}
+
+func TestOverTimeBuckets(t *testing.T) {
+	base := time.Now()
+	res := &Results{}
+	res.Samples = []Sample{
+		{Start: base, Latency: 10 * time.Millisecond},
+		{Start: base.Add(100 * time.Millisecond), Latency: 30 * time.Millisecond},
+		{Start: base.Add(1500 * time.Millisecond), Latency: 50 * time.Millisecond},
+	}
+	buckets := res.OverTime()
+	if len(buckets) != 2 {
+		t.Fatalf("buckets %d", len(buckets))
+	}
+	if buckets[0].Count != 2 || buckets[0].MeanLatency != 20*time.Millisecond {
+		t.Fatalf("bucket0 %+v", buckets[0])
+	}
+	if buckets[1].Second != 1 || buckets[1].Count != 1 {
+		t.Fatalf("bucket1 %+v", buckets[1])
+	}
+}
+
+func TestRampUpStaggersThreadStarts(t *testing.T) {
+	start := time.Now()
+	res, err := Run(context.Background(), ThreadGroup{Threads: 4, RampUp: 200 * time.Millisecond, Iterations: 1},
+		SamplerFunc(func(context.Context) error {
+			time.Sleep(5 * time.Millisecond)
+			return nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 140*time.Millisecond {
+		t.Fatal("ramp-up did not delay later threads")
+	}
+	// The last thread starts ~150ms after the first.
+	var minStart, maxStart time.Time
+	for i, s := range res.Samples {
+		if i == 0 || s.Start.Before(minStart) {
+			minStart = s.Start
+		}
+		if s.Start.After(maxStart) {
+			maxStart = s.Start
+		}
+	}
+	if maxStart.Sub(minStart) < 100*time.Millisecond {
+		t.Fatalf("thread starts too close: %v", maxStart.Sub(minStart))
+	}
+}
+
+func TestHTTPSampler(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if r.URL.Path == "/fail" {
+			http.Error(w, "nope", http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	ok := &HTTPSampler{URL: srv.URL + "/ok"}
+	if err := ok.Sample(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	bad := &HTTPSampler{URL: srv.URL + "/fail"}
+	if err := bad.Sample(context.Background()); err == nil {
+		t.Fatal("expected error for 500 response")
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("hits %d", hits.Load())
+	}
+}
+
+func TestHTTPSamplerUnderLoad(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(2 * time.Millisecond)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	res, err := Run(context.Background(), ThreadGroup{Threads: 8, Iterations: 4},
+		&HTTPSampler{URL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summarize()
+	if s.Count != 32 || s.Errors != 0 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Mean < 2*time.Millisecond {
+		t.Fatalf("mean latency %v implausibly low", s.Mean)
+	}
+}
+
+func TestRunDurationMode(t *testing.T) {
+	var calls atomic.Int64
+	res, err := Run(context.Background(), ThreadGroup{Threads: 3, Duration: 150 * time.Millisecond},
+		SamplerFunc(func(context.Context) error {
+			calls.Add(1)
+			time.Sleep(5 * time.Millisecond)
+			return nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("no samples in duration mode")
+	}
+	if res.Wall < 150*time.Millisecond {
+		t.Fatalf("run ended early: %v", res.Wall)
+	}
+	if res.Wall > 2*time.Second {
+		t.Fatalf("run overshot duration: %v", res.Wall)
+	}
+}
+
+func TestRunRejectsAmbiguousStopCondition(t *testing.T) {
+	s := SamplerFunc(func(context.Context) error { return nil })
+	if _, err := Run(context.Background(), ThreadGroup{Threads: 1}, s); err == nil {
+		t.Fatal("expected error when neither Iterations nor Duration set")
+	}
+	if _, err := Run(context.Background(), ThreadGroup{Threads: 1, Iterations: 1, Duration: time.Second}, s); err == nil {
+		t.Fatal("expected error when both Iterations and Duration set")
+	}
+}

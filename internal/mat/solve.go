@@ -1,0 +1,118 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("mat: matrix is singular")
+
+// Solve solves the square system a·x = b using Gaussian elimination with
+// partial pivoting. a and b are not modified.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("mat: Solve requires a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("mat: Solve rhs length %d != %d", len(b), n)
+	}
+	// Augmented working copies.
+	m := a.Clone()
+	x := CloneVec(b)
+	for col := 0; col < n; col++ {
+		// Partial pivot: find the largest |value| in this column.
+		pivot, pv := col, math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if av := math.Abs(m.At(r, col)); av > pv {
+				pivot, pv = r, av
+			}
+		}
+		if pv < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				m.data[col*n+j], m.data[pivot*n+j] = m.data[pivot*n+j], m.data[col*n+j]
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				m.data[r*n+j] -= f * m.data[col*n+j]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		x[i] = s / m.At(i, i)
+	}
+	return x, nil
+}
+
+// RidgeWLS solves a weighted least-squares problem with L2 regularization:
+//
+//	argmin_beta  sum_i w_i (y_i - x_i·beta)^2 + lambda ||beta||^2
+//
+// X is n×d, y and w have length n. The intercept, if wanted, must be an
+// explicit all-ones column of X (it is regularized like any coefficient,
+// which is the convention both LIME and KernelSHAP use here with tiny
+// lambda). The returned slice has length d.
+func RidgeWLS(x *Dense, y, w []float64, lambda float64) ([]float64, error) {
+	n, d := x.rows, x.cols
+	if len(y) != n {
+		return nil, fmt.Errorf("mat: RidgeWLS y length %d != %d", len(y), n)
+	}
+	if len(w) != n {
+		return nil, fmt.Errorf("mat: RidgeWLS w length %d != %d", len(w), n)
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("mat: RidgeWLS negative lambda %v", lambda)
+	}
+	// Normal equations: (X^T W X + lambda I) beta = X^T W y.
+	xtwx := NewDense(d, d)
+	xtwy := make([]float64, d)
+	for i := 0; i < n; i++ {
+		wi := w[i]
+		if wi == 0 {
+			continue
+		}
+		row := x.Row(i)
+		for a := 0; a < d; a++ {
+			va := wi * row[a]
+			if va == 0 {
+				continue
+			}
+			xtwy[a] += va * y[i]
+			base := a * d
+			for b := 0; b < d; b++ {
+				xtwx.data[base+b] += va * row[b]
+			}
+		}
+	}
+	xtwx.AddDiag(lambda)
+	beta, err := Solve(xtwx, xtwy)
+	if err != nil {
+		// A touch more regularization rescues the rank-deficient case
+		// that arises when perturbation sampling produces collinear
+		// coalition columns.
+		xtwx.AddDiag(1e-6 + lambda)
+		beta, err = Solve(xtwx, xtwy)
+		if err != nil {
+			return nil, fmt.Errorf("ridge WLS: %w", err)
+		}
+	}
+	return beta, nil
+}

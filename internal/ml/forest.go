@@ -1,0 +1,128 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// ForestConfig configures a random forest.
+type ForestConfig struct {
+	Trees       int   `json:"trees"`
+	MaxDepth    int   `json:"maxDepth"`
+	MinLeaf     int   `json:"minLeaf"`
+	MaxFeatures int   `json:"maxFeatures"` // per-split feature budget; -1 = sqrt(d)
+	Seed        int64 `json:"seed"`
+}
+
+// DefaultForestConfig returns the configuration used by the experiments.
+func DefaultForestConfig() ForestConfig {
+	return ForestConfig{Trees: 100, MaxDepth: 0, MinLeaf: 1, MaxFeatures: -1, Seed: 1}
+}
+
+// Forest is a random forest: bagged CART trees with per-split feature
+// subsampling, averaged by probability. The paper's use case 1 highlights
+// RF as the most poisoning-resilient model.
+type Forest struct {
+	Cfg ForestConfig
+
+	Members []*Tree
+	classes int
+}
+
+var _ Classifier = (*Forest)(nil)
+
+// NewForest constructs an untrained forest.
+func NewForest(cfg ForestConfig) *Forest { return &Forest{Cfg: cfg} }
+
+// Name implements Classifier.
+func (f *Forest) Name() string { return "rf" }
+
+// NumClasses implements Classifier.
+func (f *Forest) NumClasses() int { return f.classes }
+
+// Fit implements Classifier. Trees are trained concurrently, each on its
+// own bootstrap resample and with an independent deterministic RNG stream.
+func (f *Forest) Fit(d *dataset.Table) error {
+	if d.Len() == 0 {
+		return fmt.Errorf("rf fit: empty dataset")
+	}
+	if f.Cfg.Trees <= 0 {
+		return fmt.Errorf("rf fit: Trees must be positive, got %d", f.Cfg.Trees)
+	}
+	f.classes = d.NumClasses()
+	f.Members = make([]*Tree, f.Cfg.Trees)
+
+	workers := runtime.NumCPU()
+	if workers > f.Cfg.Trees {
+		workers = f.Cfg.Trees
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range jobs {
+				if err := f.fitOne(d, ti); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("rf tree %d: %w", ti, err)
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for ti := 0; ti < f.Cfg.Trees; ti++ {
+		jobs <- ti
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}
+
+func (f *Forest) fitOne(d *dataset.Table, ti int) error {
+	rng := rand.New(rand.NewSource(f.Cfg.Seed + int64(ti)*7919))
+	n := d.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = rng.Intn(n)
+	}
+	tree := NewTree(TreeConfig{
+		MaxDepth:    f.Cfg.MaxDepth,
+		MinLeaf:     f.Cfg.MinLeaf,
+		MaxFeatures: f.Cfg.MaxFeatures,
+	})
+	if err := tree.FitIndices(d, idx, rng); err != nil {
+		return err
+	}
+	f.Members[ti] = tree
+	return nil
+}
+
+// PredictProba implements Classifier by averaging member probabilities.
+func (f *Forest) PredictProba(x []float64) []float64 {
+	if len(f.Members) == 0 {
+		panic(ErrNotTrained)
+	}
+	acc := make([]float64, f.classes)
+	for _, t := range f.Members {
+		p := t.PredictProba(x)
+		for i, v := range p {
+			acc[i] += v
+		}
+	}
+	inv := 1 / float64(len(f.Members))
+	for i := range acc {
+		acc[i] *= inv
+	}
+	return acc
+}

@@ -1,0 +1,461 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+)
+
+// GBDTGrowth selects how boosted trees are grown.
+type GBDTGrowth int
+
+const (
+	// GrowLevelWise grows every node at a depth before descending —
+	// the classic XGBoost strategy (exact greedy splits).
+	GrowLevelWise GBDTGrowth = iota + 1
+	// GrowLeafWise always splits the highest-gain leaf next — the
+	// LightGBM strategy (histogram splits).
+	GrowLeafWise
+)
+
+// GBDTConfig configures gradient-boosted decision trees with softmax
+// (multi-class) objective and second-order leaf values.
+type GBDTConfig struct {
+	Rounds         int        `json:"rounds"`
+	LearningRate   float64    `json:"learningRate"`
+	MaxDepth       int        `json:"maxDepth"`  // level-wise depth limit
+	MaxLeaves      int        `json:"maxLeaves"` // leaf-wise leaf budget
+	MinChildWeight float64    `json:"minChildWeight"`
+	Lambda         float64    `json:"lambda"` // L2 on leaf values
+	Growth         GBDTGrowth `json:"growth"`
+	MaxBins        int        `json:"maxBins"` // histogram bins (leaf-wise)
+	Seed           int64      `json:"seed"`
+	name           string
+}
+
+// DefaultLightGBMConfig returns the leaf-wise histogram configuration that
+// stands in for LightGBM.
+func DefaultLightGBMConfig() GBDTConfig {
+	return GBDTConfig{
+		Rounds: 60, LearningRate: 0.1, MaxLeaves: 31, MaxDepth: 0,
+		MinChildWeight: 1e-3, Lambda: 1.0, Growth: GrowLeafWise, MaxBins: 64,
+		Seed: 1, name: "lgbm",
+	}
+}
+
+// DefaultXGBoostConfig returns the level-wise exact configuration that
+// stands in for XGBoost. The tuning is deliberately aggressive (high
+// learning rate, deep trees, minimal regularization — a common way XGBoost
+// is run in practice), which reproduces the brittleness under transferred
+// adversarial samples the paper measures for its XGBoost model.
+func DefaultXGBoostConfig() GBDTConfig {
+	return GBDTConfig{
+		Rounds: 150, LearningRate: 0.4, MaxDepth: 9,
+		MinChildWeight: 1e-4, Lambda: 0.001, Growth: GrowLevelWise,
+		Seed: 1, name: "xgb",
+	}
+}
+
+// GBDT is the boosted-tree classifier.
+type GBDT struct {
+	Cfg GBDTConfig
+
+	// TreesPerClass[k] holds one regression tree per boosting round for
+	// class k.
+	TreesPerClass [][]*gbTree
+	Base          []float64 // per-class prior log-odds
+	classes       int
+}
+
+var _ Classifier = (*GBDT)(nil)
+
+// NewGBDT constructs an untrained boosted-tree model.
+func NewGBDT(cfg GBDTConfig) *GBDT {
+	if cfg.name == "" {
+		if cfg.Growth == GrowLeafWise {
+			cfg.name = "lgbm"
+		} else {
+			cfg.name = "xgb"
+		}
+	}
+	return &GBDT{Cfg: cfg}
+}
+
+// Name implements Classifier.
+func (g *GBDT) Name() string { return g.Cfg.name }
+
+// NumClasses implements Classifier.
+func (g *GBDT) NumClasses() int { return g.classes }
+
+// gbNode is a node of a boosted regression tree. Leaves have Feature -1.
+type gbNode struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t"`
+	Left      int     `json:"l"`
+	Right     int     `json:"r"`
+	Value     float64 `json:"v"`
+}
+
+// gbTree is a regression tree over raw scores.
+type gbTree struct {
+	Nodes []gbNode `json:"nodes"`
+}
+
+func (t *gbTree) predict(x []float64) float64 {
+	n := &t.Nodes[0]
+	for n.Feature >= 0 {
+		if x[n.Feature] <= n.Threshold {
+			n = &t.Nodes[n.Left]
+		} else {
+			n = &t.Nodes[n.Right]
+		}
+	}
+	return n.Value
+}
+
+// Fit implements Classifier.
+func (g *GBDT) Fit(t *dataset.Table) error {
+	if t.Len() == 0 {
+		return fmt.Errorf("%s fit: empty dataset", g.Name())
+	}
+	if g.Cfg.Rounds <= 0 || g.Cfg.LearningRate <= 0 {
+		return fmt.Errorf("%s fit: invalid config %+v", g.Name(), g.Cfg)
+	}
+	if g.Cfg.Growth == GrowLeafWise && g.Cfg.MaxLeaves < 2 {
+		return fmt.Errorf("%s fit: MaxLeaves must be >= 2", g.Name())
+	}
+	if g.Cfg.Growth == GrowLevelWise && g.Cfg.MaxDepth < 1 {
+		return fmt.Errorf("%s fit: MaxDepth must be >= 1", g.Name())
+	}
+	n, k := t.Len(), t.NumClasses()
+	g.classes = k
+	g.TreesPerClass = make([][]*gbTree, k)
+
+	// Prior log-odds as base scores.
+	g.Base = make([]float64, k)
+	counts := t.ClassCounts()
+	for c := 0; c < k; c++ {
+		p := (float64(counts[c]) + 1) / float64(n+k)
+		g.Base[c] = math.Log(p)
+	}
+
+	// Raw scores F[k][i].
+	scores := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		scores[c] = make([]float64, n)
+		for i := range scores[c] {
+			scores[c][i] = g.Base[c]
+		}
+	}
+
+	b := newGBBuilder(g.Cfg, t)
+	probs := make([]float64, k)
+	logits := make([]float64, k)
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+
+	for round := 0; round < g.Cfg.Rounds; round++ {
+		for c := 0; c < k; c++ {
+			for i := 0; i < n; i++ {
+				for cc := 0; cc < k; cc++ {
+					logits[cc] = scores[cc][i]
+				}
+				mat.Softmax(logits, probs)
+				p := probs[c]
+				grad[i] = p
+				if t.Y[i] == c {
+					grad[i] -= 1
+				}
+				hess[i] = math.Max(p*(1-p), 1e-9)
+			}
+			tree := b.build(grad, hess, all)
+			g.TreesPerClass[c] = append(g.TreesPerClass[c], tree)
+			for i := 0; i < n; i++ {
+				scores[c][i] += g.Cfg.LearningRate * tree.predict(t.X[i])
+			}
+		}
+	}
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (g *GBDT) PredictProba(x []float64) []float64 {
+	if g.TreesPerClass == nil {
+		panic(ErrNotTrained)
+	}
+	logits := make([]float64, g.classes)
+	for c := 0; c < g.classes; c++ {
+		s := g.Base[c]
+		for _, tr := range g.TreesPerClass[c] {
+			s += g.Cfg.LearningRate * tr.predict(x)
+		}
+		logits[c] = s
+	}
+	return mat.Softmax(logits, nil)
+}
+
+// --- tree building ------------------------------------------------------
+
+type gbBuilder struct {
+	cfg GBDTConfig
+	x   [][]float64
+	dim int
+	rng *rand.Rand
+
+	// Histogram binning (leaf-wise growth only).
+	binEdges [][]float64 // per feature, sorted upper edges
+	binIdx   [][]uint16  // per sample, per feature bin index
+}
+
+func newGBBuilder(cfg GBDTConfig, t *dataset.Table) *gbBuilder {
+	b := &gbBuilder{cfg: cfg, x: t.X, dim: t.NumFeatures(), rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.Growth == GrowLeafWise {
+		b.computeBins()
+	}
+	return b
+}
+
+// computeBins builds per-feature quantile bin edges and pre-bins every
+// sample, the core of the "histogram" strategy.
+func (b *gbBuilder) computeBins() {
+	n := len(b.x)
+	maxBins := b.cfg.MaxBins
+	if maxBins < 2 {
+		maxBins = 64
+	}
+	b.binEdges = make([][]float64, b.dim)
+	vals := make([]float64, n)
+	for f := 0; f < b.dim; f++ {
+		for i := range b.x {
+			vals[i] = b.x[i][f]
+		}
+		sort.Float64s(vals)
+		var edges []float64
+		for q := 1; q < maxBins; q++ {
+			v := vals[q*n/maxBins]
+			if len(edges) == 0 || v > edges[len(edges)-1] {
+				edges = append(edges, v)
+			}
+		}
+		b.binEdges[f] = edges
+	}
+	b.binIdx = make([][]uint16, n)
+	for i := range b.x {
+		row := make([]uint16, b.dim)
+		for f := 0; f < b.dim; f++ {
+			row[f] = uint16(sort.SearchFloat64s(b.binEdges[f], b.x[i][f]))
+		}
+		b.binIdx[i] = row
+	}
+}
+
+// build fits one regression tree to the (grad, hess) targets over samples
+// idx.
+func (b *gbBuilder) build(grad, hess []float64, idx []int) *gbTree {
+	t := &gbTree{}
+	if b.cfg.Growth == GrowLeafWise {
+		b.buildLeafWise(t, grad, hess, idx)
+	} else {
+		b.buildLevelWise(t, grad, hess, idx, 0)
+	}
+	return t
+}
+
+func (b *gbBuilder) leafValue(gSum, hSum float64) float64 {
+	return -gSum / (hSum + b.cfg.Lambda)
+}
+
+func sums(grad, hess []float64, idx []int) (gSum, hSum float64) {
+	for _, i := range idx {
+		gSum += grad[i]
+		hSum += hess[i]
+	}
+	return gSum, hSum
+}
+
+// splitGain is the standard second-order gain formula.
+func (b *gbBuilder) splitGain(gl, hl, gr, hr float64) float64 {
+	lam := b.cfg.Lambda
+	return gl*gl/(hl+lam) + gr*gr/(hr+lam) - (gl+gr)*(gl+gr)/(hl+hr+lam)
+}
+
+type gbSplit struct {
+	feature     int
+	threshold   float64
+	gain        float64
+	left, right []int
+}
+
+// bestSplitExact searches every feature with a sort-and-scan pass.
+func (b *gbBuilder) bestSplitExact(grad, hess []float64, idx []int) (gbSplit, bool) {
+	gSum, hSum := sums(grad, hess, idx)
+	best := gbSplit{gain: 1e-12}
+	found := false
+	sorted := make([]int, len(idx))
+	for f := 0; f < b.dim; f++ {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, c int) bool { return b.x[sorted[a]][f] < b.x[sorted[c]][f] })
+		var gl, hl float64
+		for pos := 0; pos < len(sorted)-1; pos++ {
+			i := sorted[pos]
+			gl += grad[i]
+			hl += hess[i]
+			v, next := b.x[i][f], b.x[sorted[pos+1]][f]
+			if v == next {
+				continue
+			}
+			hr := hSum - hl
+			if hl < b.cfg.MinChildWeight || hr < b.cfg.MinChildWeight {
+				continue
+			}
+			gain := b.splitGain(gl, hl, gSum-gl, hr)
+			if gain > best.gain {
+				best.feature = f
+				best.threshold = (v + next) / 2
+				best.gain = gain
+				found = true
+			}
+		}
+	}
+	if !found {
+		return best, false
+	}
+	b.partition(&best, idx)
+	return best, true
+}
+
+// bestSplitHist searches bins instead of raw values.
+func (b *gbBuilder) bestSplitHist(grad, hess []float64, idx []int) (gbSplit, bool) {
+	gSum, hSum := sums(grad, hess, idx)
+	best := gbSplit{gain: 1e-12}
+	found := false
+	for f := 0; f < b.dim; f++ {
+		nb := len(b.binEdges[f]) + 1
+		if nb < 2 {
+			continue
+		}
+		gh := make([][2]float64, nb)
+		for _, i := range idx {
+			bin := b.binIdx[i][f]
+			gh[bin][0] += grad[i]
+			gh[bin][1] += hess[i]
+		}
+		var gl, hl float64
+		for bin := 0; bin < nb-1; bin++ {
+			gl += gh[bin][0]
+			hl += gh[bin][1]
+			hr := hSum - hl
+			if hl < b.cfg.MinChildWeight || hr < b.cfg.MinChildWeight {
+				continue
+			}
+			gain := b.splitGain(gl, hl, gSum-gl, hr)
+			if gain > best.gain {
+				best.feature = f
+				best.threshold = b.binEdges[f][bin]
+				best.gain = gain
+				found = true
+			}
+		}
+	}
+	if !found {
+		return best, false
+	}
+	b.partition(&best, idx)
+	return best, true
+}
+
+// partition fills the split's left/right index sets. The threshold
+// convention matches gbTree.predict: x <= threshold goes left. Histogram
+// thresholds are bin edges, and binIdx was computed with
+// sort.SearchFloat64s so a sample in bin k has x <= edges[k] for the first
+// matching edge; comparing raw values against the edge keeps the two
+// consistent.
+func (b *gbBuilder) partition(s *gbSplit, idx []int) {
+	for _, i := range idx {
+		if b.x[i][s.feature] <= s.threshold {
+			s.left = append(s.left, i)
+		} else {
+			s.right = append(s.right, i)
+		}
+	}
+}
+
+func (b *gbBuilder) buildLevelWise(t *gbTree, grad, hess []float64, idx []int, depth int) int {
+	gSum, hSum := sums(grad, hess, idx)
+	if depth >= b.cfg.MaxDepth || len(idx) < 2 {
+		return b.appendLeaf(t, gSum, hSum)
+	}
+	split, ok := b.bestSplitExact(grad, hess, idx)
+	if !ok || len(split.left) == 0 || len(split.right) == 0 {
+		return b.appendLeaf(t, gSum, hSum)
+	}
+	node := len(t.Nodes)
+	t.Nodes = append(t.Nodes, gbNode{Feature: split.feature, Threshold: split.threshold})
+	l := b.buildLevelWise(t, grad, hess, split.left, depth+1)
+	r := b.buildLevelWise(t, grad, hess, split.right, depth+1)
+	t.Nodes[node].Left = l
+	t.Nodes[node].Right = r
+	return node
+}
+
+func (b *gbBuilder) appendLeaf(t *gbTree, gSum, hSum float64) int {
+	t.Nodes = append(t.Nodes, gbNode{Feature: -1, Value: b.leafValue(gSum, hSum)})
+	return len(t.Nodes) - 1
+}
+
+// leafCandidate is a grown-but-unsplit leaf in the leaf-wise queue.
+type leafCandidate struct {
+	nodeIdx  int
+	idx      []int
+	split    gbSplit
+	canSplit bool
+}
+
+func (b *gbBuilder) buildLeafWise(t *gbTree, grad, hess []float64, idx []int) {
+	gSum, hSum := sums(grad, hess, idx)
+	root := b.appendLeaf(t, gSum, hSum)
+	leaves := []leafCandidate{b.newCandidate(t, grad, hess, root, idx)}
+	numLeaves := 1
+	for numLeaves < b.cfg.MaxLeaves {
+		bestI, bestGain := -1, 1e-12
+		for i, lc := range leaves {
+			if lc.canSplit && lc.split.gain > bestGain {
+				bestI, bestGain = i, lc.split.gain
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		lc := leaves[bestI]
+		s := lc.split
+		// Convert the leaf into an internal node.
+		gl, hl := sums(grad, hess, s.left)
+		gr, hr := sums(grad, hess, s.right)
+		leftIdx := b.appendLeaf(t, gl, hl)
+		rightIdx := b.appendLeaf(t, gr, hr)
+		t.Nodes[lc.nodeIdx] = gbNode{Feature: s.feature, Threshold: s.threshold, Left: leftIdx, Right: rightIdx}
+
+		leaves[bestI] = b.newCandidate(t, grad, hess, leftIdx, s.left)
+		leaves = append(leaves, b.newCandidate(t, grad, hess, rightIdx, s.right))
+		numLeaves++
+	}
+}
+
+func (b *gbBuilder) newCandidate(t *gbTree, grad, hess []float64, nodeIdx int, idx []int) leafCandidate {
+	lc := leafCandidate{nodeIdx: nodeIdx, idx: idx}
+	if len(idx) >= 2 {
+		if s, ok := b.bestSplitHist(grad, hess, idx); ok && len(s.left) > 0 && len(s.right) > 0 {
+			lc.split = s
+			lc.canSplit = true
+		}
+	}
+	return lc
+}

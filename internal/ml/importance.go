@@ -1,0 +1,111 @@
+package ml
+
+// Feature importance for the tree-based models: impurity-decrease
+// importance for CART trees and forests, and split-gain importance for the
+// boosted ensembles. These are the "global" importances operators compare
+// against the local SHAP/LIME attributions on the dashboard.
+
+// FeatureImportance returns normalized Gini-importance scores (summing to
+// 1 when any split exists). The tree must be trained; the caller passes
+// the feature dimensionality because leaves do not record it.
+func (t *Tree) FeatureImportance(numFeatures int) []float64 {
+	imp := make([]float64, numFeatures)
+	if len(t.Nodes) == 0 {
+		return imp
+	}
+	t.accumulateImportance(0, imp)
+	normalize(imp)
+	return imp
+}
+
+// accumulateImportance adds each internal node's weighted impurity
+// decrease (n·g_parent − n_l·g_l − n_r·g_r) to its split feature and
+// returns the subtree's class-count vector.
+func (t *Tree) accumulateImportance(idx int, imp []float64) []float64 {
+	node := &t.Nodes[idx]
+	if node.Feature < 0 {
+		out := make([]float64, len(node.Counts))
+		copy(out, node.Counts)
+		return out
+	}
+	left := t.accumulateImportance(node.Left, imp)
+	right := t.accumulateImportance(node.Right, imp)
+	var nl, nr float64
+	for _, c := range left {
+		nl += c
+	}
+	for _, c := range right {
+		nr += c
+	}
+	parent := make([]float64, len(left))
+	for i := range parent {
+		parent[i] = left[i] + right[i]
+	}
+	n := nl + nr
+	if node.Feature < len(imp) {
+		decrease := n*gini(parent, n) - nl*gini(left, nl) - nr*gini(right, nr)
+		if decrease > 0 {
+			imp[node.Feature] += decrease
+		}
+	}
+	return parent
+}
+
+// FeatureImportance returns the mean normalized importance across the
+// forest's members.
+func (f *Forest) FeatureImportance(numFeatures int) []float64 {
+	imp := make([]float64, numFeatures)
+	if len(f.Members) == 0 {
+		return imp
+	}
+	for _, tr := range f.Members {
+		for j, v := range tr.FeatureImportance(numFeatures) {
+			imp[j] += v
+		}
+	}
+	normalize(imp)
+	return imp
+}
+
+// FeatureImportance returns normalized split-gain importance summed over
+// every tree of the boosted ensemble. Gain is approximated by split count
+// weighting is not used; each split contributes the absolute value-range
+// it separates, which tracks how much the split moves scores.
+func (g *GBDT) FeatureImportance(numFeatures int) []float64 {
+	imp := make([]float64, numFeatures)
+	if g.TreesPerClass == nil {
+		return imp
+	}
+	for _, class := range g.TreesPerClass {
+		for _, tr := range class {
+			for _, n := range tr.Nodes {
+				if n.Feature >= 0 && n.Feature < numFeatures {
+					// Split contribution: spread between child values
+					// (leaf values for depth-1; deeper structure still
+					// accumulates through its own splits).
+					l, r := tr.Nodes[n.Left], tr.Nodes[n.Right]
+					spread := l.Value - r.Value
+					if spread < 0 {
+						spread = -spread
+					}
+					imp[n.Feature] += spread + 1e-12
+				}
+			}
+		}
+	}
+	normalize(imp)
+	return imp
+}
+
+func normalize(x []float64) {
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	if sum <= 0 {
+		return
+	}
+	for i := range x {
+		x[i] /= sum
+	}
+}

@@ -1,0 +1,90 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// importanceTable: feature 0 is decisive, feature 1 is weak, feature 2 is
+// noise.
+func importanceTable(seed int64, n int) *dataset.Table {
+	rng := rand.New(rand.NewSource(seed))
+	tb := dataset.New("imp", []string{"strong", "weak", "noise"}, []string{"a", "b"})
+	for i := 0; i < n; i++ {
+		y := i % 2
+		_ = tb.Append([]float64{
+			float64(y)*4 + rng.NormFloat64()*0.5,
+			float64(y)*0.6 + rng.NormFloat64(),
+			rng.NormFloat64(),
+		}, y)
+	}
+	return tb
+}
+
+func assertImportanceOrdering(t *testing.T, imp []float64, name string) {
+	t.Helper()
+	var sum float64
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatalf("%s: negative importance %v", name, imp)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("%s: importances sum to %v", name, sum)
+	}
+	if imp[0] <= imp[2] {
+		t.Fatalf("%s: strong feature (%.3f) should beat noise (%.3f)", name, imp[0], imp[2])
+	}
+	if imp[0] <= imp[1] {
+		t.Fatalf("%s: strong feature (%.3f) should beat weak (%.3f)", name, imp[0], imp[1])
+	}
+}
+
+func TestTreeFeatureImportance(t *testing.T) {
+	data := importanceTable(1, 400)
+	tr := NewTree(DefaultTreeConfig())
+	if err := tr.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	assertImportanceOrdering(t, tr.FeatureImportance(3), "tree")
+}
+
+func TestForestFeatureImportance(t *testing.T) {
+	data := importanceTable(2, 400)
+	f := NewForest(ForestConfig{Trees: 15, MaxFeatures: -1, MinLeaf: 1, Seed: 1})
+	if err := f.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	assertImportanceOrdering(t, f.FeatureImportance(3), "forest")
+}
+
+func TestGBDTFeatureImportance(t *testing.T) {
+	data := importanceTable(3, 400)
+	for _, growth := range []GBDTGrowth{GrowLeafWise, GrowLevelWise} {
+		g := NewGBDT(GBDTConfig{Rounds: 15, LearningRate: 0.2, MaxLeaves: 7, MaxDepth: 3,
+			MinChildWeight: 1e-3, Lambda: 1, Growth: growth, MaxBins: 32, Seed: 1})
+		if err := g.Fit(data); err != nil {
+			t.Fatal(err)
+		}
+		assertImportanceOrdering(t, g.FeatureImportance(3), "gbdt")
+	}
+}
+
+func TestFeatureImportanceUntrained(t *testing.T) {
+	imp := NewTree(DefaultTreeConfig()).FeatureImportance(3)
+	for _, v := range imp {
+		if v != 0 {
+			t.Fatal("untrained tree should report zero importance")
+		}
+	}
+	if got := NewForest(DefaultForestConfig()).FeatureImportance(2); got[0] != 0 {
+		t.Fatal("untrained forest should report zero importance")
+	}
+	if got := NewGBDT(DefaultLightGBMConfig()).FeatureImportance(2); got[0] != 0 {
+		t.Fatal("untrained gbdt should report zero importance")
+	}
+}

@@ -1,0 +1,355 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+)
+
+// MLPConfig configures a feed-forward neural network with ReLU hidden
+// layers and a softmax output, trained by mini-batch SGD with momentum.
+// The paper's "MLP" uses one hidden layer and its "DNN" a deeper stack;
+// both are instances of this type (see NewMLP and NewDNN).
+type MLPConfig struct {
+	Hidden       []int   `json:"hidden"`
+	LearningRate float64 `json:"learningRate"`
+	Momentum     float64 `json:"momentum"`
+	Epochs       int     `json:"epochs"`
+	BatchSize    int     `json:"batchSize"`
+	L2           float64 `json:"l2"`
+	Seed         int64   `json:"seed"`
+	// WarmStart makes Fit continue from the current parameters when the
+	// model is already shaped for the dataset (used by federated local
+	// training) instead of re-initializing.
+	WarmStart bool `json:"warmStart,omitempty"`
+	// name distinguishes "mlp" from "dnn" in reports.
+	name string
+}
+
+// DefaultMLPConfig returns the single-hidden-layer configuration ("MLP").
+func DefaultMLPConfig() MLPConfig {
+	return MLPConfig{Hidden: []int{128, 64}, LearningRate: 0.05, Momentum: 0.9, Epochs: 100, BatchSize: 32, L2: 1e-5, Seed: 1, name: "mlp"}
+}
+
+// DefaultDNNConfig returns the deeper configuration ("DNN").
+func DefaultDNNConfig() MLPConfig {
+	return MLPConfig{Hidden: []int{128, 64, 32}, LearningRate: 0.03, Momentum: 0.9, Epochs: 50, BatchSize: 32, L2: 1e-5, Seed: 1, name: "dnn"}
+}
+
+// leakySlope is the negative-side slope of the leaky-ReLU hidden
+// activation. A small positive slope keeps gradients flowing through
+// inactive units, preventing the dying-ReLU collapse that a pure ReLU
+// network can hit with unlucky initialization.
+const leakySlope = 0.01
+
+// maxGradNorm bounds the per-batch mean gradient norm. SGD with momentum
+// on unnormalized inputs can otherwise blow past the loss basin and
+// diverge to NaN; clipping is the standard stabilizer.
+const maxGradNorm = 5.0
+
+// MLP is the feed-forward network. Weights[l] is (out×in), Biases[l] has
+// length out, for each layer l.
+type MLP struct {
+	Cfg MLPConfig
+
+	Weights []*mat.Dense
+	Biases  [][]float64
+	sizes   []int // layer widths including input and output
+	classes int
+}
+
+var (
+	_ Classifier         = (*MLP)(nil)
+	_ GradientClassifier = (*MLP)(nil)
+)
+
+// NewMLP constructs an untrained network; cfg.Hidden must be non-empty.
+func NewMLP(cfg MLPConfig) *MLP {
+	if cfg.name == "" {
+		cfg.name = "mlp"
+	}
+	return &MLP{Cfg: cfg}
+}
+
+// NewDNN constructs the deep variant with its own display name.
+func NewDNN(cfg MLPConfig) *MLP {
+	cfg.name = "dnn"
+	return &MLP{Cfg: cfg}
+}
+
+// Name implements Classifier.
+func (m *MLP) Name() string { return m.Cfg.name }
+
+// NumClasses implements Classifier.
+func (m *MLP) NumClasses() int { return m.classes }
+
+// Fit implements Classifier.
+func (m *MLP) Fit(t *dataset.Table) error {
+	if t.Len() == 0 {
+		return fmt.Errorf("%s fit: empty dataset", m.Name())
+	}
+	if len(m.Cfg.Hidden) == 0 {
+		return fmt.Errorf("%s fit: no hidden layers configured", m.Name())
+	}
+	if m.Cfg.Epochs <= 0 || m.Cfg.LearningRate <= 0 {
+		return fmt.Errorf("%s fit: invalid config %+v", m.Name(), m.Cfg)
+	}
+	rng := rand.New(rand.NewSource(m.Cfg.Seed))
+	warm := m.Cfg.WarmStart && len(m.Weights) > 0 &&
+		len(m.sizes) > 0 && m.sizes[0] == t.NumFeatures() && m.classes == t.NumClasses()
+	if !warm {
+		if err := m.Init(t.NumFeatures(), t.NumClasses()); err != nil {
+			return err
+		}
+	}
+	layers := len(m.sizes) - 1
+
+	vW := make([]*mat.Dense, layers)
+	vB := make([][]float64, layers)
+	gW := make([]*mat.Dense, layers)
+	gB := make([][]float64, layers)
+	for l := 0; l < layers; l++ {
+		vW[l] = mat.NewDense(m.sizes[l+1], m.sizes[l])
+		gW[l] = mat.NewDense(m.sizes[l+1], m.sizes[l])
+		vB[l] = make([]float64, m.sizes[l+1])
+		gB[l] = make([]float64, m.sizes[l+1])
+	}
+
+	batch := m.Cfg.BatchSize
+	if batch <= 0 || batch > t.Len() {
+		batch = t.Len()
+	}
+	n := t.Len()
+	order := rng.Perm(n)
+	acts := m.newActivations()
+	deltas := m.newDeltas()
+
+	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < n; start += batch {
+			end := start + batch
+			if end > n {
+				end = n
+			}
+			for l := 0; l < layers; l++ {
+				for r := 0; r < m.sizes[l+1]; r++ {
+					zero(gW[l].Row(r))
+				}
+				zero(gB[l])
+			}
+			for _, idx := range order[start:end] {
+				m.forward(t.X[idx], acts)
+				m.backward(t.X[idx], t.Y[idx], acts, deltas, gW, gB)
+			}
+			// Global-norm clip of the mean batch gradient.
+			var gnorm2 float64
+			for l := 0; l < layers; l++ {
+				for r := 0; r < m.sizes[l+1]; r++ {
+					for _, v := range gW[l].Row(r) {
+						gnorm2 += v * v
+					}
+				}
+				for _, v := range gB[l] {
+					gnorm2 += v * v
+				}
+			}
+			bs := float64(end - start)
+			clip := 1.0
+			if gnorm := math.Sqrt(gnorm2) / bs; gnorm > maxGradNorm {
+				clip = maxGradNorm / gnorm
+			}
+			lr := m.Cfg.LearningRate * clip / bs
+			for l := 0; l < layers; l++ {
+				for r := 0; r < m.sizes[l+1]; r++ {
+					wrow := m.Weights[l].Row(r)
+					grow := gW[l].Row(r)
+					vrow := vW[l].Row(r)
+					for c := range wrow {
+						vrow[c] = m.Cfg.Momentum*vrow[c] - lr*grow[c] - m.Cfg.LearningRate*m.Cfg.L2*wrow[c]
+						wrow[c] += vrow[c]
+					}
+					vB[l][r] = m.Cfg.Momentum*vB[l][r] - lr*gB[l][r]
+					m.Biases[l][r] += vB[l][r]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// newActivations allocates per-layer activation buffers (index 0 unused;
+// acts[l] is the output of layer l-1 for l >= 1).
+func (m *MLP) newActivations() [][]float64 {
+	acts := make([][]float64, len(m.sizes))
+	for l := 1; l < len(m.sizes); l++ {
+		acts[l] = make([]float64, m.sizes[l])
+	}
+	return acts
+}
+
+func (m *MLP) newDeltas() [][]float64 {
+	deltas := make([][]float64, len(m.sizes))
+	for l := 1; l < len(m.sizes); l++ {
+		deltas[l] = make([]float64, m.sizes[l])
+	}
+	return deltas
+}
+
+// forward runs the network, filling acts; the final layer holds softmax
+// probabilities.
+func (m *MLP) forward(x []float64, acts [][]float64) {
+	in := x
+	last := len(m.Weights) - 1
+	for l, w := range m.Weights {
+		out := acts[l+1]
+		for r := 0; r < w.Rows(); r++ {
+			s := m.Biases[l][r]
+			row := w.Row(r)
+			for c, v := range in {
+				s += row[c] * v
+			}
+			if l < last && s < 0 {
+				s *= leakySlope // leaky ReLU avoids dead networks
+			}
+			out[r] = s
+		}
+		in = out
+	}
+	mat.Softmax(acts[len(acts)-1], acts[len(acts)-1])
+}
+
+// backward accumulates gradients for one sample into gW/gB. acts must hold
+// the forward pass of x.
+func (m *MLP) backward(x []float64, y int, acts, deltas [][]float64, gW []*mat.Dense, gB [][]float64) {
+	L := len(m.Weights)
+	// Output delta: softmax + cross-entropy gives p - onehot.
+	out := acts[L]
+	dOut := deltas[L]
+	copy(dOut, out)
+	dOut[y] -= 1
+
+	for l := L - 1; l >= 0; l-- {
+		inAct := x
+		if l > 0 {
+			inAct = acts[l]
+		}
+		d := deltas[l+1]
+		for r := 0; r < m.sizes[l+1]; r++ {
+			dr := d[r]
+			if dr == 0 {
+				continue
+			}
+			grow := gW[l].Row(r)
+			for c, v := range inAct {
+				grow[c] += dr * v
+			}
+			gB[l][r] += dr
+		}
+		if l > 0 {
+			prev := deltas[l]
+			zero(prev)
+			w := m.Weights[l]
+			for r := 0; r < m.sizes[l+1]; r++ {
+				dr := d[r]
+				if dr == 0 {
+					continue
+				}
+				row := w.Row(r)
+				for c := range prev {
+					prev[c] += dr * row[c]
+				}
+			}
+			// Leaky-ReLU derivative of the hidden activation.
+			for c := range prev {
+				if acts[l][c] < 0 {
+					prev[c] *= leakySlope
+				}
+			}
+		}
+	}
+}
+
+// PredictProba implements Classifier.
+func (m *MLP) PredictProba(x []float64) []float64 {
+	if len(m.Weights) == 0 {
+		panic(ErrNotTrained)
+	}
+	acts := m.newActivations()
+	m.forward(x, acts)
+	return mat.CloneVec(acts[len(acts)-1])
+}
+
+// InputGradient implements GradientClassifier: the cross-entropy gradient
+// back-propagated all the way to the input vector.
+func (m *MLP) InputGradient(x []float64, class int) []float64 {
+	if len(m.Weights) == 0 {
+		panic(ErrNotTrained)
+	}
+	acts := m.newActivations()
+	deltas := m.newDeltas()
+	m.forward(x, acts)
+
+	L := len(m.Weights)
+	dOut := deltas[L]
+	copy(dOut, acts[L])
+	dOut[class] -= 1
+
+	for l := L - 1; l >= 1; l-- {
+		d := deltas[l+1]
+		prev := deltas[l]
+		zero(prev)
+		w := m.Weights[l]
+		for r := 0; r < m.sizes[l+1]; r++ {
+			dr := d[r]
+			if dr == 0 {
+				continue
+			}
+			row := w.Row(r)
+			for c := range prev {
+				prev[c] += dr * row[c]
+			}
+		}
+		for c := range prev {
+			if acts[l][c] < 0 {
+				prev[c] *= leakySlope
+			}
+		}
+	}
+	// Final hop to the input.
+	g := make([]float64, m.sizes[0])
+	d := deltas[1]
+	w := m.Weights[0]
+	for r := 0; r < m.sizes[1]; r++ {
+		dr := d[r]
+		if dr == 0 {
+			continue
+		}
+		row := w.Row(r)
+		for c := range g {
+			g[c] += dr * row[c]
+		}
+	}
+	return g
+}
+
+// Loss returns the mean cross-entropy on t.
+func (m *MLP) Loss(t *dataset.Table) float64 {
+	if len(m.Weights) == 0 || t.Len() == 0 {
+		return math.Inf(1)
+	}
+	var total float64
+	for i, x := range t.X {
+		p := m.PredictProba(x)
+		total += -math.Log(math.Max(p[t.Y[i]], 1e-15))
+	}
+	return total / float64(t.Len())
+}

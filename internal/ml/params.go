@@ -1,0 +1,146 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// ParamClassifier is a classifier whose trainable parameters can be read
+// and written as a flat vector — the primitive federated averaging needs.
+// LogReg and MLP implement it.
+type ParamClassifier interface {
+	Classifier
+	// Parameters returns a copy of the flat parameter vector.
+	Parameters() []float64
+	// SetParameters overwrites the parameters; the model must already
+	// be shaped (via Init or Fit) and the length must match.
+	SetParameters(p []float64) error
+	// Init shapes the model for the given input dimension and class
+	// count with fresh random parameters, without training.
+	Init(inputDim, classes int) error
+}
+
+var (
+	_ ParamClassifier = (*LogReg)(nil)
+	_ ParamClassifier = (*MLP)(nil)
+)
+
+// Init implements ParamClassifier: a zero-initialized weight matrix.
+func (m *LogReg) Init(inputDim, classes int) error {
+	if inputDim <= 0 || classes < 2 {
+		return fmt.Errorf("lr init: invalid shape %dx%d", inputDim, classes)
+	}
+	m.dim = inputDim
+	m.classes = classes
+	m.W = mat.NewDense(classes, inputDim+1)
+	return nil
+}
+
+// Parameters implements ParamClassifier.
+func (m *LogReg) Parameters() []float64 {
+	if m.W == nil {
+		return nil
+	}
+	out := make([]float64, 0, m.classes*(m.dim+1))
+	for r := 0; r < m.classes; r++ {
+		out = append(out, m.W.Row(r)...)
+	}
+	return out
+}
+
+// SetParameters implements ParamClassifier.
+func (m *LogReg) SetParameters(p []float64) error {
+	if m.W == nil {
+		return fmt.Errorf("lr: SetParameters before Init/Fit")
+	}
+	want := m.classes * (m.dim + 1)
+	if len(p) != want {
+		return fmt.Errorf("lr: parameter length %d != %d", len(p), want)
+	}
+	for r := 0; r < m.classes; r++ {
+		copy(m.W.Row(r), p[r*(m.dim+1):(r+1)*(m.dim+1)])
+	}
+	return nil
+}
+
+// Init implements ParamClassifier: He-initialized layers for the
+// configured hidden sizes.
+func (m *MLP) Init(inputDim, classes int) error {
+	if inputDim <= 0 || classes < 2 {
+		return fmt.Errorf("%s init: invalid shape %dx%d", m.Name(), inputDim, classes)
+	}
+	if len(m.Cfg.Hidden) == 0 {
+		return fmt.Errorf("%s init: no hidden layers configured", m.Name())
+	}
+	m.classes = classes
+	m.sizes = append(append([]int{inputDim}, m.Cfg.Hidden...), classes)
+	rng := rand.New(rand.NewSource(m.Cfg.Seed))
+	layers := len(m.sizes) - 1
+	m.Weights = make([]*mat.Dense, layers)
+	m.Biases = make([][]float64, layers)
+	for l := 0; l < layers; l++ {
+		in, out := m.sizes[l], m.sizes[l+1]
+		w := mat.NewDense(out, in)
+		scale := math.Sqrt(2 / float64(in))
+		for r := 0; r < out; r++ {
+			row := w.Row(r)
+			for c := range row {
+				row[c] = rng.NormFloat64() * scale
+			}
+		}
+		m.Weights[l] = w
+		m.Biases[l] = make([]float64, out)
+	}
+	return nil
+}
+
+// Parameters implements ParamClassifier: all layer weights then all
+// biases, in layer order.
+func (m *MLP) Parameters() []float64 {
+	if len(m.Weights) == 0 {
+		return nil
+	}
+	var out []float64
+	for _, w := range m.Weights {
+		for r := 0; r < w.Rows(); r++ {
+			out = append(out, w.Row(r)...)
+		}
+	}
+	for _, b := range m.Biases {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// SetParameters implements ParamClassifier.
+func (m *MLP) SetParameters(p []float64) error {
+	if len(m.Weights) == 0 {
+		return fmt.Errorf("%s: SetParameters before Init/Fit", m.Name())
+	}
+	want := 0
+	for _, w := range m.Weights {
+		want += w.Rows() * w.Cols()
+	}
+	for _, b := range m.Biases {
+		want += len(b)
+	}
+	if len(p) != want {
+		return fmt.Errorf("%s: parameter length %d != %d", m.Name(), len(p), want)
+	}
+	off := 0
+	for _, w := range m.Weights {
+		for r := 0; r < w.Rows(); r++ {
+			row := w.Row(r)
+			copy(row, p[off:off+len(row)])
+			off += len(row)
+		}
+	}
+	for _, b := range m.Biases {
+		copy(b, p[off:off+len(b)])
+		off += len(b)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// Probabilistic quality measures. Accuracy alone hides calibration drift —
+// a model can keep its argmax while its confidence distribution shifts
+// under slow poisoning — so the monitoring sensors also track proper
+// scoring rules.
+
+// LogLoss returns the mean cross-entropy of the model on t.
+func LogLoss(c Classifier, t *dataset.Table) (float64, error) {
+	if t.Len() == 0 {
+		return 0, fmt.Errorf("ml: log loss of empty table")
+	}
+	var total float64
+	for i, x := range t.X {
+		p := c.PredictProba(x)
+		if t.Y[i] >= len(p) {
+			return 0, fmt.Errorf("ml: label %d outside model's %d classes", t.Y[i], len(p))
+		}
+		total += -math.Log(math.Max(p[t.Y[i]], 1e-15))
+	}
+	return total / float64(t.Len()), nil
+}
+
+// Brier returns the mean multi-class Brier score (squared distance between
+// the predicted distribution and the one-hot truth), in [0, 2].
+func Brier(c Classifier, t *dataset.Table) (float64, error) {
+	if t.Len() == 0 {
+		return 0, fmt.Errorf("ml: brier score of empty table")
+	}
+	var total float64
+	for i, x := range t.X {
+		p := c.PredictProba(x)
+		if t.Y[i] >= len(p) {
+			return 0, fmt.Errorf("ml: label %d outside model's %d classes", t.Y[i], len(p))
+		}
+		for k, pk := range p {
+			target := 0.0
+			if k == t.Y[i] {
+				target = 1
+			}
+			d := pk - target
+			total += d * d
+		}
+	}
+	return total / float64(t.Len()), nil
+}
+
+// ExpectedCalibrationError bins predictions by confidence and returns the
+// weighted mean |confidence − accuracy| gap across bins — the standard ECE
+// with equal-width bins.
+func ExpectedCalibrationError(c Classifier, t *dataset.Table, bins int) (float64, error) {
+	if t.Len() == 0 {
+		return 0, fmt.Errorf("ml: calibration error of empty table")
+	}
+	if bins < 2 {
+		bins = 10
+	}
+	type agg struct {
+		conf, correct float64
+		n             int
+	}
+	buckets := make([]agg, bins)
+	for i, x := range t.X {
+		p := c.PredictProba(x)
+		best, conf := 0, p[0]
+		for k, v := range p {
+			if v > conf {
+				best, conf = k, v
+			}
+		}
+		b := int(conf * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		buckets[b].conf += conf
+		if best == t.Y[i] {
+			buckets[b].correct++
+		}
+		buckets[b].n++
+	}
+	var ece float64
+	n := float64(t.Len())
+	for _, b := range buckets {
+		if b.n == 0 {
+			continue
+		}
+		acc := b.correct / float64(b.n)
+		conf := b.conf / float64(b.n)
+		ece += float64(b.n) / n * math.Abs(conf-acc)
+	}
+	return ece, nil
+}

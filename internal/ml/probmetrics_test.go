@@ -1,0 +1,137 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// fixedProba is a stub classifier returning one fixed distribution.
+type fixedProba struct{ p []float64 }
+
+func (f *fixedProba) Fit(*dataset.Table) error         { return nil }
+func (f *fixedProba) PredictProba([]float64) []float64 { return append([]float64(nil), f.p...) }
+func (f *fixedProba) NumClasses() int                  { return len(f.p) }
+func (f *fixedProba) Name() string                     { return "fixed" }
+
+func oneRowTable(t *testing.T, y int) *dataset.Table {
+	t.Helper()
+	tb := dataset.New("one", []string{"f"}, []string{"a", "b"})
+	if err := tb.Append([]float64{0}, y); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestLogLossKnownValues(t *testing.T) {
+	tb := oneRowTable(t, 0)
+	m := &fixedProba{p: []float64{0.8, 0.2}}
+	got, err := LogLoss(m, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(-math.Log(0.8))) > 1e-12 {
+		t.Fatalf("log loss %v", got)
+	}
+	empty := dataset.New("e", []string{"f"}, []string{"a"})
+	if _, err := LogLoss(m, empty); err == nil {
+		t.Fatal("expected empty error")
+	}
+}
+
+func TestBrierKnownValues(t *testing.T) {
+	tb := oneRowTable(t, 0)
+	perfect := &fixedProba{p: []float64{1, 0}}
+	got, err := Brier(perfect, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("perfect brier %v", got)
+	}
+	worst := &fixedProba{p: []float64{0, 1}}
+	got, err = Brier(worst, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("worst brier %v, want 2", got)
+	}
+	half := &fixedProba{p: []float64{0.5, 0.5}}
+	got, err = Brier(half, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("uniform brier %v, want 0.5", got)
+	}
+}
+
+func TestECEPerfectlyCalibrated(t *testing.T) {
+	// A classifier that is always 100% confident and always right has
+	// zero calibration error.
+	data := blobs(60, 200, 3, 2, 0.3)
+	tr := NewTree(DefaultTreeConfig())
+	if err := tr.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	ece, err := ExpectedCalibrationError(tr, data, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ece > 0.05 {
+		t.Fatalf("well-separated tree ECE %v", ece)
+	}
+}
+
+func TestECEDetectsOverconfidence(t *testing.T) {
+	// Always 100% confident in class a, but truth is 50/50 -> ECE ~0.5.
+	tb := dataset.New("coin", []string{"f"}, []string{"a", "b"})
+	for i := 0; i < 100; i++ {
+		_ = tb.Append([]float64{0}, i%2)
+	}
+	m := &fixedProba{p: []float64{1, 0}}
+	ece, err := ExpectedCalibrationError(m, tb, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ece-0.5) > 1e-9 {
+		t.Fatalf("overconfident ECE %v, want 0.5", ece)
+	}
+}
+
+func TestPoisoningDegradesProbMetrics(t *testing.T) {
+	// Proper scoring rules must get worse when the model is trained on
+	// flipped labels — the calibration-drift signal the sensors watch.
+	data := blobs(61, 400, 3, 2, 0.8)
+	clean := NewLogReg(DefaultLogRegConfig())
+	if err := clean.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	flipped := data.Clone()
+	rngFlip(flipped, 0.4)
+	dirty := NewLogReg(DefaultLogRegConfig())
+	if err := dirty.Fit(flipped); err != nil {
+		t.Fatal(err)
+	}
+	cleanLL, err := LogLoss(clean, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirtyLL, err := LogLoss(dirty, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirtyLL <= cleanLL {
+		t.Fatalf("log loss did not degrade: %v -> %v", cleanLL, dirtyLL)
+	}
+}
+
+// rngFlip deterministically flips a fraction of binary labels.
+func rngFlip(t *dataset.Table, rate float64) {
+	n := int(rate * float64(t.Len()))
+	for i := 0; i < n; i++ {
+		t.Y[i] = 1 - t.Y[i]
+	}
+}

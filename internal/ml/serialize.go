@@ -1,0 +1,248 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Envelope is the wire format for a trained model: a kind tag plus a
+// kind-specific spec. The metric micro-services exchange models in this
+// format so an explainer can score any model the ML-pipeline service
+// trained.
+type Envelope struct {
+	Kind string          `json:"kind"`
+	Spec json.RawMessage `json:"spec"`
+}
+
+type denseSpec struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+func toDenseSpec(m *mat.Dense) denseSpec {
+	data := make([]float64, 0, m.Rows()*m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		data = append(data, m.Row(i)...)
+	}
+	return denseSpec{Rows: m.Rows(), Cols: m.Cols(), Data: data}
+}
+
+func (s denseSpec) toDense() (*mat.Dense, error) {
+	if s.Rows <= 0 || s.Cols <= 0 || len(s.Data) != s.Rows*s.Cols {
+		return nil, fmt.Errorf("ml: invalid dense spec %dx%d with %d values", s.Rows, s.Cols, len(s.Data))
+	}
+	return mat.NewDenseData(s.Rows, s.Cols, s.Data), nil
+}
+
+type logRegSpec struct {
+	Cfg     LogRegConfig `json:"cfg"`
+	W       denseSpec    `json:"w"`
+	Classes int          `json:"classes"`
+	Dim     int          `json:"dim"`
+}
+
+type treeSpec struct {
+	Cfg     TreeConfig `json:"cfg"`
+	Nodes   []treeNode `json:"nodes"`
+	Classes int        `json:"classes"`
+}
+
+type forestSpec struct {
+	Cfg     ForestConfig `json:"cfg"`
+	Members []treeSpec   `json:"members"`
+	Classes int          `json:"classes"`
+}
+
+type mlpSpec struct {
+	Cfg     MLPConfig   `json:"cfg"`
+	Name    string      `json:"name"`
+	Weights []denseSpec `json:"weights"`
+	Biases  [][]float64 `json:"biases"`
+	Sizes   []int       `json:"sizes"`
+	Classes int         `json:"classes"`
+}
+
+type gbdtSpec struct {
+	Cfg           GBDTConfig  `json:"cfg"`
+	Name          string      `json:"name"`
+	Base          []float64   `json:"base"`
+	TreesPerClass [][]*gbTree `json:"treesPerClass"`
+	Classes       int         `json:"classes"`
+}
+
+// MarshalModel serializes a trained classifier.
+func MarshalModel(c Classifier) ([]byte, error) {
+	var (
+		kind string
+		spec any
+	)
+	switch m := c.(type) {
+	case *LogReg:
+		if m.W == nil {
+			return nil, ErrNotTrained
+		}
+		kind = "lr"
+		spec = logRegSpec{Cfg: m.Cfg, W: toDenseSpec(m.W), Classes: m.classes, Dim: m.dim}
+	case *Tree:
+		if len(m.Nodes) == 0 {
+			return nil, ErrNotTrained
+		}
+		kind = "dt"
+		spec = treeSpec{Cfg: m.Cfg, Nodes: m.Nodes, Classes: m.classes}
+	case *Forest:
+		if len(m.Members) == 0 {
+			return nil, ErrNotTrained
+		}
+		kind = "rf"
+		fs := forestSpec{Cfg: m.Cfg, Classes: m.classes, Members: make([]treeSpec, len(m.Members))}
+		for i, tr := range m.Members {
+			fs.Members[i] = treeSpec{Cfg: tr.Cfg, Nodes: tr.Nodes, Classes: tr.classes}
+		}
+		spec = fs
+	case *MLP:
+		if len(m.Weights) == 0 {
+			return nil, ErrNotTrained
+		}
+		kind = "mlp"
+		ms := mlpSpec{Cfg: m.Cfg, Name: m.Name(), Biases: m.Biases, Sizes: m.sizes, Classes: m.classes}
+		for _, w := range m.Weights {
+			ms.Weights = append(ms.Weights, toDenseSpec(w))
+		}
+		spec = ms
+	case *GBDT:
+		if m.TreesPerClass == nil {
+			return nil, ErrNotTrained
+		}
+		kind = "gbdt"
+		spec = gbdtSpec{Cfg: m.Cfg, Name: m.Name(), Base: m.Base, TreesPerClass: m.TreesPerClass, Classes: m.classes}
+	default:
+		return nil, fmt.Errorf("ml: cannot serialize model type %T", c)
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("marshal %s spec: %w", kind, err)
+	}
+	return json.Marshal(Envelope{Kind: kind, Spec: raw})
+}
+
+// UnmarshalModel reconstructs a classifier serialized by MarshalModel.
+func UnmarshalModel(data []byte) (Classifier, error) {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("unmarshal model envelope: %w", err)
+	}
+	switch env.Kind {
+	case "lr":
+		var s logRegSpec
+		if err := json.Unmarshal(env.Spec, &s); err != nil {
+			return nil, fmt.Errorf("unmarshal lr spec: %w", err)
+		}
+		w, err := s.W.toDense()
+		if err != nil {
+			return nil, err
+		}
+		if err := validateLogRegSpec(w, s.Classes, s.Dim); err != nil {
+			return nil, err
+		}
+		return &LogReg{Cfg: s.Cfg, W: w, classes: s.Classes, dim: s.Dim}, nil
+	case "dt":
+		var s treeSpec
+		if err := json.Unmarshal(env.Spec, &s); err != nil {
+			return nil, fmt.Errorf("unmarshal dt spec: %w", err)
+		}
+		if err := validateTreeNodes(s.Nodes, s.Classes); err != nil {
+			return nil, err
+		}
+		return &Tree{Cfg: s.Cfg, Nodes: s.Nodes, classes: s.Classes}, nil
+	case "rf":
+		var s forestSpec
+		if err := json.Unmarshal(env.Spec, &s); err != nil {
+			return nil, fmt.Errorf("unmarshal rf spec: %w", err)
+		}
+		f := &Forest{Cfg: s.Cfg, classes: s.Classes}
+		if len(s.Members) == 0 {
+			return nil, fmt.Errorf("ml: rf spec has no member trees")
+		}
+		for mi, ts := range s.Members {
+			if ts.Classes != s.Classes {
+				return nil, fmt.Errorf("ml: rf member %d has %d classes, forest %d", mi, ts.Classes, s.Classes)
+			}
+			if err := validateTreeNodes(ts.Nodes, ts.Classes); err != nil {
+				return nil, fmt.Errorf("rf member %d: %w", mi, err)
+			}
+			f.Members = append(f.Members, &Tree{Cfg: ts.Cfg, Nodes: ts.Nodes, classes: ts.Classes})
+		}
+		return f, nil
+	case "mlp":
+		var s mlpSpec
+		if err := json.Unmarshal(env.Spec, &s); err != nil {
+			return nil, fmt.Errorf("unmarshal mlp spec: %w", err)
+		}
+		s.Cfg.name = s.Name
+		m := &MLP{Cfg: s.Cfg, Biases: s.Biases, sizes: s.Sizes, classes: s.Classes}
+		for _, ws := range s.Weights {
+			w, err := ws.toDense()
+			if err != nil {
+				return nil, err
+			}
+			m.Weights = append(m.Weights, w)
+		}
+		if err := validateMLPSpec(m.Weights, m.Biases, m.sizes, m.classes); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case "gbdt":
+		var s gbdtSpec
+		if err := json.Unmarshal(env.Spec, &s); err != nil {
+			return nil, fmt.Errorf("unmarshal gbdt spec: %w", err)
+		}
+		s.Cfg.name = s.Name
+		if err := validateGBDTSpec(&s); err != nil {
+			return nil, err
+		}
+		return &GBDT{Cfg: s.Cfg, Base: s.Base, TreesPerClass: s.TreesPerClass, classes: s.Classes}, nil
+	default:
+		return nil, fmt.Errorf("ml: unknown model kind %q", env.Kind)
+	}
+}
+
+// NewByName constructs an untrained classifier from an algorithm name with
+// default experiment configuration. Recognized names: lr, dt, rf, mlp,
+// dnn, lgbm, xgb, nn (alias for mlp, the name use case 2 reports).
+func NewByName(name string, seed int64) (Classifier, error) {
+	switch name {
+	case "lr":
+		cfg := DefaultLogRegConfig()
+		cfg.Seed = seed
+		return NewLogReg(cfg), nil
+	case "dt":
+		cfg := DefaultTreeConfig()
+		cfg.Seed = seed
+		return NewTree(cfg), nil
+	case "rf":
+		cfg := DefaultForestConfig()
+		cfg.Seed = seed
+		return NewForest(cfg), nil
+	case "mlp", "nn":
+		cfg := DefaultMLPConfig()
+		cfg.Seed = seed
+		return NewMLP(cfg), nil
+	case "dnn":
+		cfg := DefaultDNNConfig()
+		cfg.Seed = seed
+		return NewDNN(cfg), nil
+	case "lgbm":
+		cfg := DefaultLightGBMConfig()
+		cfg.Seed = seed
+		return NewGBDT(cfg), nil
+	case "xgb":
+		cfg := DefaultXGBoostConfig()
+		cfg.Seed = seed
+		return NewGBDT(cfg), nil
+	default:
+		return nil, fmt.Errorf("ml: unknown algorithm %q", name)
+	}
+}

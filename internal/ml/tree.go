@@ -1,0 +1,259 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// TreeConfig configures a CART decision tree.
+type TreeConfig struct {
+	MaxDepth    int   `json:"maxDepth"`    // 0 means unlimited
+	MinLeaf     int   `json:"minLeaf"`     // minimum samples per leaf
+	MaxFeatures int   `json:"maxFeatures"` // features considered per split; 0 = all, -1 = sqrt(d)
+	Seed        int64 `json:"seed"`
+}
+
+// DefaultTreeConfig returns the configuration used by the experiments.
+func DefaultTreeConfig() TreeConfig {
+	return TreeConfig{MaxDepth: 16, MinLeaf: 2, MaxFeatures: 0, Seed: 1}
+}
+
+// treeNode is one node of a decision tree, stored in a flat slice so trees
+// serialize compactly. Leaves have Feature == -1.
+type treeNode struct {
+	Feature   int       `json:"f"`           // -1 for leaf
+	Threshold float64   `json:"t"`           // go left if x[Feature] <= Threshold
+	Left      int       `json:"l"`           // child indices
+	Right     int       `json:"r"`           //
+	Counts    []float64 `json:"c,omitempty"` // leaf class counts
+}
+
+// Tree is a CART classification tree with Gini-impurity splits. It is the
+// "DT" model of use case 1 and the building block of RandomForest.
+type Tree struct {
+	Cfg TreeConfig
+
+	Nodes   []treeNode
+	classes int
+
+	rng *rand.Rand
+}
+
+var _ Classifier = (*Tree)(nil)
+
+// NewTree constructs an untrained tree.
+func NewTree(cfg TreeConfig) *Tree { return &Tree{Cfg: cfg} }
+
+// Name implements Classifier.
+func (t *Tree) Name() string { return "dt" }
+
+// NumClasses implements Classifier.
+func (t *Tree) NumClasses() int { return t.classes }
+
+// Fit implements Classifier.
+func (t *Tree) Fit(d *dataset.Table) error {
+	if d.Len() == 0 {
+		return fmt.Errorf("dt fit: empty dataset")
+	}
+	if t.Cfg.MinLeaf < 1 {
+		t.Cfg.MinLeaf = 1
+	}
+	t.classes = d.NumClasses()
+	t.Nodes = t.Nodes[:0]
+	t.rng = rand.New(rand.NewSource(t.Cfg.Seed))
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	t.grow(d, idx, 0)
+	return nil
+}
+
+// FitIndices trains the tree on the subset of d given by idx (used by the
+// forest's bootstrap without copying rows).
+func (t *Tree) FitIndices(d *dataset.Table, idx []int, rng *rand.Rand) error {
+	if len(idx) == 0 {
+		return fmt.Errorf("dt fit: empty index set")
+	}
+	if t.Cfg.MinLeaf < 1 {
+		t.Cfg.MinLeaf = 1
+	}
+	t.classes = d.NumClasses()
+	t.Nodes = t.Nodes[:0]
+	if rng == nil {
+		rng = rand.New(rand.NewSource(t.Cfg.Seed))
+	}
+	t.rng = rng
+	t.grow(d, idx, 0)
+	return nil
+}
+
+func (t *Tree) numSplitFeatures(d int) int {
+	switch {
+	case t.Cfg.MaxFeatures > 0 && t.Cfg.MaxFeatures < d:
+		return t.Cfg.MaxFeatures
+	case t.Cfg.MaxFeatures == -1:
+		k := int(math.Sqrt(float64(d)))
+		if k < 1 {
+			k = 1
+		}
+		return k
+	default:
+		return d
+	}
+}
+
+// grow recursively builds the subtree over samples idx and returns its node
+// index.
+func (t *Tree) grow(d *dataset.Table, idx []int, depth int) int {
+	counts := make([]float64, t.classes)
+	for _, i := range idx {
+		counts[d.Y[i]]++
+	}
+	pure := 0
+	for _, c := range counts {
+		if c > 0 {
+			pure++
+		}
+	}
+	if pure <= 1 || len(idx) < 2*t.Cfg.MinLeaf || (t.Cfg.MaxDepth > 0 && depth >= t.Cfg.MaxDepth) {
+		return t.leaf(counts)
+	}
+
+	feat, thr, ok := t.bestSplit(d, idx, counts)
+	if !ok {
+		return t.leaf(counts)
+	}
+
+	var left, right []int
+	for _, i := range idx {
+		if d.X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.Cfg.MinLeaf || len(right) < t.Cfg.MinLeaf {
+		return t.leaf(counts)
+	}
+
+	node := len(t.Nodes)
+	t.Nodes = append(t.Nodes, treeNode{Feature: feat, Threshold: thr})
+	l := t.grow(d, left, depth+1)
+	r := t.grow(d, right, depth+1)
+	t.Nodes[node].Left = l
+	t.Nodes[node].Right = r
+	return node
+}
+
+func (t *Tree) leaf(counts []float64) int {
+	t.Nodes = append(t.Nodes, treeNode{Feature: -1, Counts: counts})
+	return len(t.Nodes) - 1
+}
+
+// bestSplit searches a (possibly random) subset of features for the split
+// with the lowest weighted Gini impurity.
+func (t *Tree) bestSplit(d *dataset.Table, idx []int, parentCounts []float64) (feat int, thr float64, ok bool) {
+	dim := d.NumFeatures()
+	nf := t.numSplitFeatures(dim)
+	features := make([]int, dim)
+	for j := range features {
+		features[j] = j
+	}
+	if nf < dim {
+		t.rng.Shuffle(dim, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:nf]
+	}
+
+	n := float64(len(idx))
+	parentGini := gini(parentCounts, n)
+	bestGain := 1e-12
+	sorted := make([]int, len(idx))
+	leftCounts := make([]float64, t.classes)
+	rightCounts := make([]float64, t.classes)
+
+	for _, f := range features {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, b int) bool { return d.X[sorted[a]][f] < d.X[sorted[b]][f] })
+
+		for c := range leftCounts {
+			leftCounts[c] = 0
+			rightCounts[c] = parentCounts[c]
+		}
+		for pos := 0; pos < len(sorted)-1; pos++ {
+			y := d.Y[sorted[pos]]
+			leftCounts[y]++
+			rightCounts[y]--
+			v, next := d.X[sorted[pos]][f], d.X[sorted[pos+1]][f]
+			if v == next {
+				continue // cannot split between equal values
+			}
+			nl := float64(pos + 1)
+			nr := n - nl
+			if int(nl) < t.Cfg.MinLeaf || int(nr) < t.Cfg.MinLeaf {
+				continue
+			}
+			gain := parentGini - (nl/n)*gini(leftCounts, nl) - (nr/n)*gini(rightCounts, nr)
+			if gain > bestGain {
+				bestGain = gain
+				feat = f
+				thr = (v + next) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+// gini computes the Gini impurity of a class-count vector with total n.
+func gini(counts []float64, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	s := 1.0
+	for _, c := range counts {
+		p := c / n
+		s -= p * p
+	}
+	return s
+}
+
+// PredictProba implements Classifier.
+func (t *Tree) PredictProba(x []float64) []float64 {
+	if len(t.Nodes) == 0 {
+		panic(ErrNotTrained)
+	}
+	node := &t.Nodes[0]
+	for node.Feature >= 0 {
+		if x[node.Feature] <= node.Threshold {
+			node = &t.Nodes[node.Left]
+		} else {
+			node = &t.Nodes[node.Right]
+		}
+	}
+	return probaFromCounts(node.Counts, t.classes)
+}
+
+// Depth returns the depth of the trained tree (0 for a single leaf).
+func (t *Tree) Depth() int {
+	if len(t.Nodes) == 0 {
+		return 0
+	}
+	return t.depthFrom(0)
+}
+
+func (t *Tree) depthFrom(i int) int {
+	n := &t.Nodes[i]
+	if n.Feature < 0 {
+		return 0
+	}
+	l, r := t.depthFrom(n.Left), t.depthFrom(n.Right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

@@ -1,0 +1,121 @@
+package ml
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Structural validation of deserialized models. Model envelopes cross
+// service boundaries, so a malformed or malicious envelope must be
+// rejected at decode time: without these checks a cyclic tree would make
+// PredictProba loop forever (found by FuzzUnmarshalModel) and mismatched
+// layer shapes would panic mid-request.
+
+// validateTreeNodes checks a classification tree: children in range and
+// strictly increasing (the builder's append order, which guarantees the
+// prediction walk terminates), and leaf count vectors sized to classes
+// with non-negative entries.
+func validateTreeNodes(nodes []treeNode, classes int) error {
+	if len(nodes) == 0 {
+		return fmt.Errorf("ml: tree has no nodes")
+	}
+	if classes < 1 {
+		return fmt.Errorf("ml: tree has %d classes", classes)
+	}
+	for i, n := range nodes {
+		if n.Feature < 0 {
+			if len(n.Counts) != classes {
+				return fmt.Errorf("ml: tree leaf %d has %d counts, want %d", i, len(n.Counts), classes)
+			}
+			for _, c := range n.Counts {
+				if c < 0 {
+					return fmt.Errorf("ml: tree leaf %d has negative count", i)
+				}
+			}
+			continue
+		}
+		if n.Left <= i || n.Right <= i || n.Left >= len(nodes) || n.Right >= len(nodes) {
+			return fmt.Errorf("ml: tree node %d has invalid children (%d, %d)", i, n.Left, n.Right)
+		}
+	}
+	return nil
+}
+
+// validateGBTree checks a boosted regression tree with the same
+// increasing-children invariant.
+func validateGBTree(t *gbTree) error {
+	if t == nil || len(t.Nodes) == 0 {
+		return fmt.Errorf("ml: boosted tree has no nodes")
+	}
+	for i, n := range t.Nodes {
+		if n.Feature < 0 {
+			continue
+		}
+		if n.Left <= i || n.Right <= i || n.Left >= len(t.Nodes) || n.Right >= len(t.Nodes) {
+			return fmt.Errorf("ml: boosted tree node %d has invalid children (%d, %d)", i, n.Left, n.Right)
+		}
+	}
+	return nil
+}
+
+// validateLogRegSpec checks weight-matrix geometry against the declared
+// shape.
+func validateLogRegSpec(w *mat.Dense, classes, dim int) error {
+	if classes < 2 || dim < 1 {
+		return fmt.Errorf("ml: lr spec shape %d classes x %d features invalid", classes, dim)
+	}
+	if w.Rows() != classes || w.Cols() != dim+1 {
+		return fmt.Errorf("ml: lr weights %dx%d do not match %d classes x %d features", w.Rows(), w.Cols(), classes, dim)
+	}
+	return nil
+}
+
+// validateMLPSpec checks layer geometry: sizes chain, weight shapes, bias
+// lengths, and the output width.
+func validateMLPSpec(weights []*mat.Dense, biases [][]float64, sizes []int, classes int) error {
+	if len(sizes) < 2 {
+		return fmt.Errorf("ml: mlp spec has %d layer sizes", len(sizes))
+	}
+	if len(weights) != len(sizes)-1 || len(biases) != len(sizes)-1 {
+		return fmt.Errorf("ml: mlp spec has %d weight and %d bias layers for %d sizes", len(weights), len(biases), len(sizes))
+	}
+	for i, s := range sizes {
+		if s < 1 {
+			return fmt.Errorf("ml: mlp layer %d has width %d", i, s)
+		}
+	}
+	if sizes[len(sizes)-1] != classes || classes < 2 {
+		return fmt.Errorf("ml: mlp output width %d != %d classes", sizes[len(sizes)-1], classes)
+	}
+	for l, w := range weights {
+		if w.Rows() != sizes[l+1] || w.Cols() != sizes[l] {
+			return fmt.Errorf("ml: mlp layer %d weights %dx%d, want %dx%d", l, w.Rows(), w.Cols(), sizes[l+1], sizes[l])
+		}
+		if len(biases[l]) != sizes[l+1] {
+			return fmt.Errorf("ml: mlp layer %d biases %d, want %d", l, len(biases[l]), sizes[l+1])
+		}
+	}
+	return nil
+}
+
+// validateGBDTSpec checks the ensemble geometry.
+func validateGBDTSpec(s *gbdtSpec) error {
+	if s.Classes < 2 {
+		return fmt.Errorf("ml: gbdt spec has %d classes", s.Classes)
+	}
+	if len(s.Base) != s.Classes {
+		return fmt.Errorf("ml: gbdt base scores %d != %d classes", len(s.Base), s.Classes)
+	}
+	if len(s.TreesPerClass) != s.Classes {
+		return fmt.Errorf("ml: gbdt has trees for %d of %d classes", len(s.TreesPerClass), s.Classes)
+	}
+	for c, class := range s.TreesPerClass {
+		for ti, tr := range class {
+			if err := validateGBTree(tr); err != nil {
+				return fmt.Errorf("class %d tree %d: %w", c, ti, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+// Package pipeline models the paper's AI model-construction pipeline
+// (Fig. 4): data collection → cleaning → labelling → training → evaluation
+// → deployment → monitoring. Every stage boundary is a hook point where AI
+// sensors can be instrumented, which is how SPATIAL gauges trustworthy
+// properties "in every step of the AI pipeline".
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/ml"
+)
+
+// Stage names one pipeline step.
+type Stage string
+
+// The standard stages, in canonical order.
+const (
+	StageCollect  Stage = "collect"
+	StageClean    Stage = "clean"
+	StageLabel    Stage = "label"
+	StageTrain    Stage = "train"
+	StageEvaluate Stage = "evaluate"
+	StageDeploy   Stage = "deploy"
+	StageMonitor  Stage = "monitor"
+)
+
+// State is the mutable context threaded through the stages.
+type State struct {
+	// Raw is the collected dataset; Train/Test are produced by the
+	// labelling/split stage.
+	Raw   *dataset.Table
+	Train *dataset.Table
+	Test  *dataset.Table
+	// Model and Metrics are produced by the training and evaluation
+	// stages.
+	Model   ml.Classifier
+	Metrics ml.Metrics
+	// Values carries arbitrary stage outputs (clean reports, deploy
+	// targets, ...).
+	Values map[string]any
+}
+
+// StageFunc executes one stage against the shared state.
+type StageFunc func(ctx context.Context, s *State) error
+
+// Hook observes a stage after it completes — the instrumentation point for
+// AI sensors. A hook error aborts the pipeline: a sensor that cannot
+// measure a mandated property is a compliance failure, not a soft warning.
+type Hook func(ctx context.Context, stage Stage, s *State) error
+
+// StageResult records one executed stage.
+type StageResult struct {
+	Stage    Stage         `json:"stage"`
+	Duration time.Duration `json:"durationNs"`
+}
+
+// Report summarizes a pipeline run.
+type Report struct {
+	Stages []StageResult `json:"stages"`
+	Wall   time.Duration `json:"wallNs"`
+}
+
+// Pipeline is an ordered list of stages with attached hooks.
+type Pipeline struct {
+	stages []stageEntry
+	hooks  []Hook
+}
+
+type stageEntry struct {
+	stage Stage
+	fn    StageFunc
+}
+
+// New returns an empty pipeline.
+func New() *Pipeline { return &Pipeline{} }
+
+// AddStage appends a stage. Stages run in insertion order.
+func (p *Pipeline) AddStage(stage Stage, fn StageFunc) error {
+	if stage == "" {
+		return fmt.Errorf("pipeline: empty stage name")
+	}
+	if fn == nil {
+		return fmt.Errorf("pipeline: stage %q has nil function", stage)
+	}
+	p.stages = append(p.stages, stageEntry{stage: stage, fn: fn})
+	return nil
+}
+
+// AddHook attaches a hook invoked after every stage.
+func (p *Pipeline) AddHook(h Hook) error {
+	if h == nil {
+		return fmt.Errorf("pipeline: nil hook")
+	}
+	p.hooks = append(p.hooks, h)
+	return nil
+}
+
+// Run executes the pipeline. The returned state is valid up to the point
+// of failure.
+func (p *Pipeline) Run(ctx context.Context) (*State, Report, error) {
+	if len(p.stages) == 0 {
+		return nil, Report{}, fmt.Errorf("pipeline: no stages")
+	}
+	state := &State{Values: make(map[string]any)}
+	var rep Report
+	start := time.Now()
+	for _, e := range p.stages {
+		if err := ctx.Err(); err != nil {
+			return state, rep, err
+		}
+		stageStart := time.Now()
+		if err := e.fn(ctx, state); err != nil {
+			return state, rep, fmt.Errorf("stage %q: %w", e.stage, err)
+		}
+		rep.Stages = append(rep.Stages, StageResult{Stage: e.stage, Duration: time.Since(stageStart)})
+		for _, h := range p.hooks {
+			if err := h(ctx, e.stage, state); err != nil {
+				return state, rep, fmt.Errorf("hook after stage %q: %w", e.stage, err)
+			}
+		}
+	}
+	rep.Wall = time.Since(start)
+	return state, rep, nil
+}
+
+// Standard builds the paper's standard pipeline for a supervised task:
+// collect via the supplied loader, clean, stratified split (the "label"
+// stage — labels are already present in the synthetic corpora), train the
+// named algorithm, and evaluate. Deployment and monitoring are left to the
+// caller (SPATIAL's core wires those).
+func Standard(load func(ctx context.Context) (*dataset.Table, error), algorithm string, trainFrac float64, seed int64) (*Pipeline, error) {
+	if load == nil {
+		return nil, fmt.Errorf("pipeline: nil loader")
+	}
+	p := New()
+	if err := p.AddStage(StageCollect, func(ctx context.Context, s *State) error {
+		t, err := load(ctx)
+		if err != nil {
+			return err
+		}
+		s.Raw = t
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := p.AddStage(StageClean, func(_ context.Context, s *State) error {
+		rep := dataset.Clean(s.Raw)
+		s.Values["cleanReport"] = rep
+		return s.Raw.Validate()
+	}); err != nil {
+		return nil, err
+	}
+	if err := p.AddStage(StageLabel, func(_ context.Context, s *State) error {
+		rng := newRand(seed)
+		train, test, err := s.Raw.StratifiedSplit(rng, trainFrac)
+		if err != nil {
+			return err
+		}
+		s.Train, s.Test = train, test
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := p.AddStage(StageTrain, func(_ context.Context, s *State) error {
+		model, err := ml.NewByName(algorithm, seed)
+		if err != nil {
+			return err
+		}
+		if err := model.Fit(s.Train); err != nil {
+			return err
+		}
+		s.Model = model
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := p.AddStage(StageEvaluate, func(_ context.Context, s *State) error {
+		m, err := ml.Evaluate(s.Model, s.Test)
+		if err != nil {
+			return err
+		}
+		s.Metrics = m
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

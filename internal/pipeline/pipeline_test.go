@@ -1,0 +1,135 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func loader(n int) func(ctx context.Context) (*dataset.Table, error) {
+	return func(context.Context) (*dataset.Table, error) {
+		rng := rand.New(rand.NewSource(1))
+		tb := dataset.New("toy", []string{"f0", "f1"}, []string{"a", "b"})
+		for i := 0; i < n; i++ {
+			y := i % 2
+			_ = tb.Append([]float64{float64(y)*4 + rng.NormFloat64(), rng.NormFloat64()}, y)
+		}
+		// One dirty row for the clean stage to fix.
+		tb.X = append(tb.X, []float64{math.NaN(), 0})
+		tb.Y = append(tb.Y, 0)
+		return tb, nil
+	}
+}
+
+func TestStandardPipelineEndToEnd(t *testing.T) {
+	p, err := Standard(loader(200), "dt", 0.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stagesSeen []Stage
+	if err := p.AddHook(func(_ context.Context, stage Stage, s *State) error {
+		stagesSeen = append(stagesSeen, stage)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	state, rep, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.Model == nil {
+		t.Fatal("no model trained")
+	}
+	if state.Metrics.Accuracy < 0.9 {
+		t.Fatalf("pipeline model accuracy %.3f", state.Metrics.Accuracy)
+	}
+	want := []Stage{StageCollect, StageClean, StageLabel, StageTrain, StageEvaluate}
+	if len(stagesSeen) != len(want) {
+		t.Fatalf("hook saw %v", stagesSeen)
+	}
+	for i := range want {
+		if stagesSeen[i] != want[i] {
+			t.Fatalf("stage order %v", stagesSeen)
+		}
+	}
+	if len(rep.Stages) != 5 || rep.Wall <= 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if _, ok := state.Values["cleanReport"].(dataset.CleanReport); !ok {
+		t.Fatal("clean report missing from state values")
+	}
+}
+
+func TestStageErrorAborts(t *testing.T) {
+	p := New()
+	_ = p.AddStage(StageCollect, func(context.Context, *State) error { return nil })
+	boom := errors.New("boom")
+	_ = p.AddStage(StageTrain, func(context.Context, *State) error { return boom })
+	ran := false
+	_ = p.AddStage(StageEvaluate, func(context.Context, *State) error { ran = true; return nil })
+	_, rep, err := p.Run(context.Background())
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v", err)
+	}
+	if ran {
+		t.Fatal("stage after failure executed")
+	}
+	if len(rep.Stages) != 1 {
+		t.Fatalf("report should contain only completed stages: %+v", rep)
+	}
+}
+
+func TestHookErrorAborts(t *testing.T) {
+	p := New()
+	_ = p.AddStage(StageCollect, func(context.Context, *State) error { return nil })
+	boom := errors.New("sensor down")
+	_ = p.AddHook(func(context.Context, Stage, *State) error { return boom })
+	_, _, err := p.Run(context.Background())
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v", err)
+	}
+}
+
+func TestRunHonorsContext(t *testing.T) {
+	p := New()
+	_ = p.AddStage(StageCollect, func(context.Context, *State) error { return nil })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := p.Run(ctx); err == nil {
+		t.Fatal("cancelled context should abort")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	p := New()
+	if err := p.AddStage("", func(context.Context, *State) error { return nil }); err == nil {
+		t.Fatal("expected empty-stage error")
+	}
+	if err := p.AddStage(StageCollect, nil); err == nil {
+		t.Fatal("expected nil-func error")
+	}
+	if err := p.AddHook(nil); err == nil {
+		t.Fatal("expected nil-hook error")
+	}
+	if _, _, err := New().Run(context.Background()); err == nil {
+		t.Fatal("expected no-stages error")
+	}
+	if _, err := Standard(nil, "dt", 0.8, 1); err == nil {
+		t.Fatal("expected nil-loader error")
+	}
+}
+
+func TestStandardPipelineUnknownAlgorithm(t *testing.T) {
+	p, err := Standard(loader(50), "quantum", 0.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = p.Run(context.Background())
+	if err == nil {
+		t.Fatal("expected unknown-algorithm failure at train stage")
+	}
+}

@@ -1,0 +1,6 @@
+package pipeline
+
+import "math/rand"
+
+// newRand isolates the pipeline's randomness behind a seed.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,201 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/ml"
+)
+
+// DPLogRegConfig configures differentially-private multinomial logistic
+// regression (DP-SGD: per-sample gradient clipping + Gaussian noise).
+type DPLogRegConfig struct {
+	LearningRate    float64 `json:"learningRate"`
+	Epochs          int     `json:"epochs"`
+	BatchSize       int     `json:"batchSize"`
+	ClipNorm        float64 `json:"clipNorm"`
+	NoiseMultiplier float64 `json:"noiseMultiplier"`
+	Seed            int64   `json:"seed"`
+}
+
+// DefaultDPLogRegConfig returns a moderate-privacy configuration.
+func DefaultDPLogRegConfig() DPLogRegConfig {
+	return DPLogRegConfig{
+		LearningRate: 0.1, Epochs: 40, BatchSize: 32,
+		ClipNorm: 1.0, NoiseMultiplier: 1.0, Seed: 1,
+	}
+}
+
+// DPLogReg is the differentially-private variant of ml.LogReg. Per-sample
+// gradients are L2-clipped to ClipNorm and batch sums are perturbed with
+// Gaussian noise of scale NoiseMultiplier·ClipNorm before the update.
+type DPLogReg struct {
+	Cfg DPLogRegConfig
+
+	// W is (classes)×(features+1); the last column is the bias.
+	W       *mat.Dense
+	classes int
+	dim     int
+	steps   int
+	samples int
+}
+
+var _ ml.Classifier = (*DPLogReg)(nil)
+
+// NewDPLogReg constructs an untrained model.
+func NewDPLogReg(cfg DPLogRegConfig) *DPLogReg { return &DPLogReg{Cfg: cfg} }
+
+// Name implements ml.Classifier.
+func (m *DPLogReg) Name() string { return "dp-lr" }
+
+// NumClasses implements ml.Classifier.
+func (m *DPLogReg) NumClasses() int { return m.classes }
+
+// Fit implements ml.Classifier with DP-SGD.
+func (m *DPLogReg) Fit(t *dataset.Table) error {
+	if t.Len() == 0 {
+		return fmt.Errorf("dp-lr fit: empty dataset")
+	}
+	if m.Cfg.Epochs <= 0 || m.Cfg.LearningRate <= 0 {
+		return fmt.Errorf("dp-lr fit: invalid config %+v", m.Cfg)
+	}
+	if m.Cfg.ClipNorm <= 0 {
+		return fmt.Errorf("dp-lr fit: ClipNorm must be positive")
+	}
+	if m.Cfg.NoiseMultiplier < 0 {
+		return fmt.Errorf("dp-lr fit: NoiseMultiplier must be non-negative")
+	}
+	m.classes = t.NumClasses()
+	m.dim = t.NumFeatures()
+	m.samples = t.Len()
+	m.steps = 0
+	m.W = mat.NewDense(m.classes, m.dim+1)
+	rng := rand.New(rand.NewSource(m.Cfg.Seed))
+
+	batch := m.Cfg.BatchSize
+	if batch <= 0 || batch > t.Len() {
+		batch = t.Len()
+	}
+	n := t.Len()
+	order := rng.Perm(n)
+	logits := make([]float64, m.classes)
+	probs := make([]float64, m.classes)
+	sampleGrad := mat.NewDense(m.classes, m.dim+1)
+	batchGrad := mat.NewDense(m.classes, m.dim+1)
+	noiseStd := m.Cfg.NoiseMultiplier * m.Cfg.ClipNorm
+
+	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < n; start += batch {
+			end := start + batch
+			if end > n {
+				end = n
+			}
+			for r := 0; r < m.classes; r++ {
+				row := batchGrad.Row(r)
+				for j := range row {
+					row[j] = 0
+				}
+			}
+			for _, idx := range order[start:end] {
+				m.sampleGradient(t.X[idx], t.Y[idx], logits, probs, sampleGrad)
+				clipInto(sampleGrad, batchGrad, m.Cfg.ClipNorm)
+			}
+			// Gaussian mechanism on the summed clipped gradients.
+			scale := m.Cfg.LearningRate / float64(end-start)
+			for r := 0; r < m.classes; r++ {
+				wrow := m.W.Row(r)
+				grow := batchGrad.Row(r)
+				for j := range wrow {
+					noisy := grow[j]
+					if noiseStd > 0 {
+						noisy += rng.NormFloat64() * noiseStd
+					}
+					wrow[j] -= scale * noisy
+				}
+			}
+			m.steps++
+		}
+	}
+	return nil
+}
+
+// sampleGradient computes one sample's gradient into dst.
+func (m *DPLogReg) sampleGradient(x []float64, y int, logits, probs []float64, dst *mat.Dense) {
+	for k := 0; k < m.classes; k++ {
+		row := m.W.Row(k)
+		s := row[m.dim]
+		for j, v := range x {
+			s += row[j] * v
+		}
+		logits[k] = s
+	}
+	mat.Softmax(logits, probs)
+	for k := 0; k < m.classes; k++ {
+		delta := probs[k]
+		if k == y {
+			delta -= 1
+		}
+		drow := dst.Row(k)
+		for j, v := range x {
+			drow[j] = delta * v
+		}
+		drow[m.dim] = delta
+	}
+}
+
+// clipInto L2-clips src to clipNorm and accumulates it into dst.
+func clipInto(src, dst *mat.Dense, clipNorm float64) {
+	var norm2 float64
+	for r := 0; r < src.Rows(); r++ {
+		for _, v := range src.Row(r) {
+			norm2 += v * v
+		}
+	}
+	scale := 1.0
+	if norm := math.Sqrt(norm2); norm > clipNorm {
+		scale = clipNorm / norm
+	}
+	for r := 0; r < src.Rows(); r++ {
+		srow, drow := src.Row(r), dst.Row(r)
+		for j, v := range srow {
+			drow[j] += v * scale
+		}
+	}
+}
+
+// PredictProba implements ml.Classifier.
+func (m *DPLogReg) PredictProba(x []float64) []float64 {
+	if m.W == nil {
+		panic(ml.ErrNotTrained)
+	}
+	logits := make([]float64, m.classes)
+	for k := 0; k < m.classes; k++ {
+		row := m.W.Row(k)
+		s := row[m.dim]
+		for j, v := range x {
+			s += row[j] * v
+		}
+		logits[k] = s
+	}
+	return mat.Softmax(logits, nil)
+}
+
+// Epsilon reports the approximate (ε, δ)-DP budget spent by the last Fit.
+func (m *DPLogReg) Epsilon(delta float64) (float64, error) {
+	if m.steps == 0 {
+		return 0, fmt.Errorf("dp-lr: model not trained")
+	}
+	if m.Cfg.NoiseMultiplier == 0 {
+		return math.Inf(1), nil
+	}
+	batch := m.Cfg.BatchSize
+	if batch <= 0 || batch > m.samples {
+		batch = m.samples
+	}
+	q := float64(batch) / float64(m.samples)
+	return ApproxEpsilon(m.Cfg.NoiseMultiplier, q, m.steps, delta)
+}

@@ -1,0 +1,114 @@
+package resilience
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/ml"
+)
+
+func TestPoisonImpact(t *testing.T) {
+	cases := []struct {
+		base, poisoned, want float64
+	}{
+		{1.0, 0.5, 0.5},
+		{0.9, 0.9, 0},
+		{0.8, 0.9, 0}, // improvement clamps to zero
+		{0, 0.5, 0},   // degenerate baseline
+		{0.5, -1, 1},  // clamp to 1
+	}
+	for _, c := range cases {
+		if got := PoisonImpact(c.base, c.poisoned); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("PoisonImpact(%v,%v) = %v, want %v", c.base, c.poisoned, got, c.want)
+		}
+	}
+}
+
+func TestPoisoningReport(t *testing.T) {
+	base := ml.Metrics{Accuracy: 0.96}
+	poisoned := ml.Metrics{Accuracy: 0.72}
+	rep, err := Poisoning(base, poisoned, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ComplexityUnit != "poison-fraction" || rep.Complexity != 0.3 {
+		t.Fatalf("complexity %+v", rep)
+	}
+	if math.Abs(rep.Impact-0.25) > 1e-12 {
+		t.Fatalf("impact %v, want 0.25", rep.Impact)
+	}
+	if _, err := Poisoning(base, poisoned, 1.5); err == nil {
+		t.Fatal("expected rate error")
+	}
+}
+
+func TestEvasionReport(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tb := dataset.New("sep", []string{"f0", "f1"}, []string{"a", "b"})
+	for i := 0; i < 300; i++ {
+		y := i % 2
+		_ = tb.Append([]float64{float64(y)*4 - 2 + rng.NormFloat64()*0.4, rng.NormFloat64()}, y)
+	}
+	m := ml.NewLogReg(ml.DefaultLogRegConfig())
+	if err := m.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	res, err := attack.FGSM(m, tb, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Evasion(m, tb, res.Adversarial, 50*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Impact <= 0 {
+		t.Fatalf("strong FGSM should have positive impact, got %v", rep.Impact)
+	}
+	if rep.Impact > 1 {
+		t.Fatalf("impact %v > 1", rep.Impact)
+	}
+	if math.Abs(rep.Complexity-50) > 1e-9 || rep.ComplexityUnit != "us/sample" {
+		t.Fatalf("complexity %v %s", rep.Complexity, rep.ComplexityUnit)
+	}
+	if rep.BaselineAccuracy <= rep.AttackedAccuracy {
+		t.Fatalf("attacked accuracy %v should be below baseline %v", rep.AttackedAccuracy, rep.BaselineAccuracy)
+	}
+}
+
+func TestEvasionSizeMismatch(t *testing.T) {
+	tb := dataset.New("x", []string{"f"}, []string{"a", "b"})
+	_ = tb.Append([]float64{1}, 0)
+	other := dataset.New("y", []string{"f"}, []string{"a", "b"})
+	m := ml.NewLogReg(ml.DefaultLogRegConfig())
+	_ = tb.Append([]float64{2}, 1)
+	if err := m.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evasion(m, tb, other, 0); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+}
+
+func TestEvasionZeroImpactOnNoopAttack(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tb := dataset.New("sep", []string{"f0"}, []string{"a", "b"})
+	for i := 0; i < 100; i++ {
+		y := i % 2
+		_ = tb.Append([]float64{float64(y)*6 - 3 + rng.NormFloat64()*0.3}, y)
+	}
+	m := ml.NewLogReg(ml.DefaultLogRegConfig())
+	if err := m.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Evasion(m, tb, tb.Clone(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Impact != 0 {
+		t.Fatalf("identical adversarial set should have zero impact, got %v", rep.Impact)
+	}
+}

@@ -1,0 +1,80 @@
+package sensor
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSamplingIntervalBoundsDetectionDelay is the DESIGN.md §5 ablation:
+// a sensor can only notice a model compromise at its next sample, so the
+// detection delay is bounded by (and grows with) the sampling interval.
+func TestSamplingIntervalBoundsDetectionDelay(t *testing.T) {
+	// A monitored value that drops below the alert threshold at a known
+	// instant, simulating a model-swap poisoning event.
+	detectAfterCompromise := func(interval time.Duration) time.Duration {
+		var mu sync.Mutex
+		compromised := false
+
+		alerted := make(chan time.Time, 1)
+		sink := SinkFunc(func(_ context.Context, r Reading) error {
+			if r.Alert {
+				select {
+				case alerted <- time.Now():
+				default:
+				}
+			}
+			return nil
+		})
+		m := NewManager(sink)
+		if err := m.Register(&Sensor{
+			Name:     "acc",
+			Property: PropPerformance,
+			Interval: interval,
+			Collector: CollectorFunc(func(context.Context) (float64, map[string]float64, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				if compromised {
+					return 0.4, nil, nil
+				}
+				return 0.95, nil, nil
+			}),
+			Threshold: Threshold{Min: Float64Ptr(0.9)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		defer m.Stop()
+
+		// Let the sensor settle, then compromise the model.
+		time.Sleep(interval + 20*time.Millisecond)
+		mu.Lock()
+		compromised = true
+		at := time.Now()
+		mu.Unlock()
+
+		select {
+		case detected := <-alerted:
+			return detected.Sub(at)
+		case <-time.After(10 * interval * 3):
+			t.Fatalf("interval %v: compromise never detected", interval)
+			return 0
+		}
+	}
+
+	fast := detectAfterCompromise(30 * time.Millisecond)
+	slow := detectAfterCompromise(400 * time.Millisecond)
+
+	// The fast sensor must detect within a few intervals; the slow one
+	// cannot beat its sampling period on average. Generous margins keep
+	// the test stable on a loaded single-CPU host.
+	if fast > 300*time.Millisecond {
+		t.Fatalf("30ms sensor took %v to detect", fast)
+	}
+	if slow < fast {
+		t.Fatalf("slower sampling detected faster: %v vs %v", slow, fast)
+	}
+}

@@ -1,0 +1,189 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/ml"
+	"repro/internal/resilience"
+)
+
+// Client is the typed HTTP client the AI sensors and examples use to call
+// the micro-services, usually through the API gateway. BaseURL addresses
+// one service (direct) or the gateway route prefix.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://gw:8000/shap".
+	BaseURL string
+	// HTTP is the underlying client; http.DefaultClient when nil.
+	HTTP *http.Client
+	// APIKey, when set, is sent as the X-API-Key header (the gateway's
+	// auth middleware).
+	APIKey string
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do posts in as JSON to path and decodes the response into out.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("marshal request: %w", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("build request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.APIKey != "" {
+		req.Header.Set("X-API-Key", c.APIKey)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("%s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil && eb.Error != "" {
+			return fmt.Errorf("%s %s: %s (status %d)", method, path, eb.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("decode response: %w", err)
+	}
+	return nil
+}
+
+// Train submits a training job to the ML-pipeline service.
+func (c *Client) Train(ctx context.Context, req TrainRequest) (TrainResponse, error) {
+	var resp TrainResponse
+	err := c.do(ctx, http.MethodPost, "/train", req, &resp)
+	return resp, err
+}
+
+// Predict requests predictions from the ML-pipeline service.
+func (c *Client) Predict(ctx context.Context, req PredictRequest) (PredictResponse, error) {
+	var resp PredictResponse
+	err := c.do(ctx, http.MethodPost, "/predict", req, &resp)
+	return resp, err
+}
+
+// FetchModel downloads a stored model envelope and reconstructs it.
+func (c *Client) FetchModel(ctx context.Context, id string) (ml.Classifier, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/models/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.APIKey != "" {
+		req.Header.Set("X-API-Key", c.APIKey)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fetch model: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetch model %q: status %d", id, resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("read model body: %w", err)
+	}
+	return ml.UnmarshalModel(raw)
+}
+
+// SHAP requests a SHAP explanation.
+func (c *Client) SHAP(ctx context.Context, req SHAPRequest) ([]float64, error) {
+	var resp ExplainResponse
+	if err := c.do(ctx, http.MethodPost, "/explain", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Attribution, nil
+}
+
+// LIMETabular requests a tabular LIME explanation.
+func (c *Client) LIMETabular(ctx context.Context, req LIMETabularRequest) ([]float64, error) {
+	var resp ExplainResponse
+	if err := c.do(ctx, http.MethodPost, "/explain/tabular", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Attribution, nil
+}
+
+// LIMEImage requests an image LIME explanation.
+func (c *Client) LIMEImage(ctx context.Context, req LIMEImageRequest) ([]float64, error) {
+	var resp ExplainResponse
+	if err := c.do(ctx, http.MethodPost, "/explain/image", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Attribution, nil
+}
+
+// Occlusion requests an occlusion-sensitivity heatmap.
+func (c *Client) Occlusion(ctx context.Context, req OcclusionRequest) (OcclusionResponse, error) {
+	var resp OcclusionResponse
+	err := c.do(ctx, http.MethodPost, "/explain", req, &resp)
+	return resp, err
+}
+
+// PoisonImpact requests a poisoning resilience report.
+func (c *Client) PoisonImpact(ctx context.Context, req PoisonImpactRequest) (resilience.Report, error) {
+	var resp resilience.Report
+	err := c.do(ctx, http.MethodPost, "/impact/poisoning", req, &resp)
+	return resp, err
+}
+
+// EvasionImpact requests an FGSM evasion resilience report.
+func (c *Client) EvasionImpact(ctx context.Context, req EvasionImpactRequest) (resilience.Report, error) {
+	var resp resilience.Report
+	err := c.do(ctx, http.MethodPost, "/impact/evasion", req, &resp)
+	return resp, err
+}
+
+// Healthz checks the service health endpoint.
+func (c *Client) Healthz(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// WaitHealthy polls /healthz until it responds or the deadline passes.
+func (c *Client) WaitHealthy(ctx context.Context, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		hctx, cancel := context.WithTimeout(ctx, 500*time.Millisecond)
+		_, err := c.Healthz(hctx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("service at %s not healthy after %v: %w", c.BaseURL, timeout, err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package service
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func driftTable(seed int64, n int, shift float64) *dataset.Table {
+	rng := rand.New(rand.NewSource(seed))
+	tb := dataset.New("d", []string{"f0", "f1"}, []string{"x"})
+	for i := 0; i < n; i++ {
+		_ = tb.Append([]float64{shift + rng.NormFloat64(), rng.NormFloat64()}, 0)
+	}
+	return tb
+}
+
+func TestDriftService(t *testing.T) {
+	srv := httptest.NewServer(NewDriftService())
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+	ctx := context.Background()
+
+	// Same distribution: no drift.
+	rep, err := c.Drift(ctx, DriftRequest{
+		Reference: FromTable(driftTable(1, 400, 0)),
+		Batch:     FromTable(driftTable(2, 200, 0)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Drifted {
+		t.Fatalf("false drift alarm: %+v", rep)
+	}
+
+	// Shifted batch: drift flagged on the first feature.
+	rep, err = c.Drift(ctx, DriftRequest{
+		Reference: FromTable(driftTable(3, 400, 0)),
+		Batch:     FromTable(driftTable(4, 200, 3)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Drifted || !rep.Features[0].Drifted {
+		t.Fatalf("shift undetected: %+v", rep)
+	}
+
+	// Tiny reference rejected.
+	if _, err := c.Drift(ctx, DriftRequest{
+		Reference: FromTable(driftTable(5, 4, 0)),
+		Batch:     FromTable(driftTable(6, 100, 0)),
+	}); err == nil {
+		t.Fatal("expected too-few-reference error")
+	}
+}

@@ -1,0 +1,222 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/ml"
+)
+
+// MLService is the AI-pipeline micro-service: it trains models on uploaded
+// datasets, reports performance indicators, serves predictions, and hands
+// out serialized models for the explainer services.
+type MLService struct {
+	*base
+
+	mu     sync.RWMutex
+	nextID int
+	models map[string]*storedModel
+}
+
+type storedModel struct {
+	id      string
+	algo    string
+	model   ml.Classifier
+	metrics ml.Metrics
+}
+
+// TrainRequest asks the service to train one model.
+type TrainRequest struct {
+	// Algorithm is an ml.NewByName identifier (lr, dt, rf, mlp, dnn,
+	// lgbm, xgb, nn).
+	Algorithm string `json:"algorithm"`
+	// Train is the training split. Eval, if present, is a held-out
+	// split used for the reported metrics; otherwise metrics are
+	// computed on the training data.
+	Train TableJSON  `json:"train"`
+	Eval  *TableJSON `json:"eval,omitempty"`
+	// Seed makes training deterministic.
+	Seed int64 `json:"seed"`
+}
+
+// TrainResponse reports the stored model and its performance indicators.
+type TrainResponse struct {
+	ModelID string     `json:"modelId"`
+	Metrics ml.Metrics `json:"metrics"`
+}
+
+// PredictRequest asks for predictions on raw instances.
+type PredictRequest struct {
+	ModelID   string      `json:"modelId"`
+	Instances [][]float64 `json:"instances"`
+}
+
+// PredictResponse carries argmax classes and full probability rows.
+type PredictResponse struct {
+	Classes []int       `json:"classes"`
+	Probs   [][]float64 `json:"probs"`
+}
+
+// NewMLService constructs the service.
+func NewMLService() *MLService {
+	s := &MLService{base: newBase("ml-pipeline"), models: make(map[string]*storedModel)}
+	s.handle("POST /train", s.handleTrain)
+	s.handle("POST /predict", s.handlePredict)
+	s.handle("GET /models", s.handleList)
+	s.handle("GET /models/{id}", s.handleGet)
+	return s
+}
+
+func (s *MLService) handleTrain(w http.ResponseWriter, r *http.Request) {
+	var req TrainRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	train, err := req.Train.ToTable()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("train table: %w", err))
+		return
+	}
+	model, err := ml.NewByName(req.Algorithm, req.Seed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := model.Fit(train); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("fit: %w", err))
+		return
+	}
+	evalTable := train
+	if req.Eval != nil {
+		evalTable, err = req.Eval.ToTable()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("eval table: %w", err))
+			return
+		}
+	}
+	metrics, err := ml.Evaluate(model, evalTable)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("evaluate: %w", err))
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("m%04d", s.nextID)
+	s.models[id] = &storedModel{id: id, algo: req.Algorithm, model: model, metrics: metrics}
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusOK, TrainResponse{ModelID: id, Metrics: metrics})
+}
+
+func (s *MLService) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.RLock()
+	stored, ok := s.models[req.ModelID]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("model %q not found", req.ModelID))
+		return
+	}
+	resp := PredictResponse{
+		Classes: make([]int, len(req.Instances)),
+		Probs:   make([][]float64, len(req.Instances)),
+	}
+	for i, x := range req.Instances {
+		p := stored.model.PredictProba(x)
+		resp.Probs[i] = p
+		best := 0
+		for c, v := range p {
+			if v > p[best] {
+				best = c
+			}
+		}
+		resp.Classes[i] = best
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// modelInfo is the listing entry for one stored model.
+type modelInfo struct {
+	ModelID   string     `json:"modelId"`
+	Algorithm string     `json:"algorithm"`
+	Metrics   ml.Metrics `json:"metrics"`
+}
+
+func (s *MLService) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	infos := make([]modelInfo, 0, len(s.models))
+	for _, m := range s.models {
+		infos = append(infos, modelInfo{ModelID: m.id, Algorithm: m.algo, Metrics: m.metrics})
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ModelID < infos[j].ModelID })
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// handleGet returns the serialized model envelope so explainer services
+// can reconstruct it.
+func (s *MLService) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.RLock()
+	stored, ok := s.models[id]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("model %q not found", id))
+		return
+	}
+	blob, err := ml.MarshalModel(stored.model)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(blob); err != nil {
+		return
+	}
+}
+
+// StoreModel registers an externally trained model (e.g. the output of a
+// pipeline run) and returns its id — the "deploy" step of the paper's
+// pipeline.
+func (s *MLService) StoreModel(algorithm string, model ml.Classifier, metrics ml.Metrics) (string, error) {
+	if model == nil {
+		return "", fmt.Errorf("service: nil model")
+	}
+	if model.NumClasses() == 0 {
+		return "", fmt.Errorf("service: model %q is not trained", algorithm)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := fmt.Sprintf("m%04d", s.nextID)
+	s.models[id] = &storedModel{id: id, algo: algorithm, model: model, metrics: metrics}
+	return id, nil
+}
+
+// Model returns a stored model by id (for in-process composition).
+func (s *MLService) Model(id string) (ml.Classifier, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	stored, ok := s.models[id]
+	if !ok {
+		return nil, false
+	}
+	return stored.model, true
+}
+
+// decodeModel reconstructs a classifier from an inline envelope.
+func decodeModel(raw json.RawMessage) (ml.Classifier, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("missing model envelope")
+	}
+	return ml.UnmarshalModel(raw)
+}

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/ml"
+)
+
+// storeIndex is the on-disk catalog of a saved model store.
+type storeIndex struct {
+	NextID int               `json:"nextId"`
+	Models []storeIndexEntry `json:"models"`
+}
+
+type storeIndexEntry struct {
+	ModelID   string     `json:"modelId"`
+	Algorithm string     `json:"algorithm"`
+	Metrics   ml.Metrics `json:"metrics"`
+}
+
+// SaveStore persists every stored model to dir (one JSON envelope per
+// model plus an index), supporting the re-deployment/versioning workflow:
+// a service can be stopped, upgraded, and restarted with its model
+// catalog intact.
+func (s *MLService) SaveStore(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create store dir: %w", err)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idx := storeIndex{NextID: s.nextID}
+	for _, m := range s.models {
+		blob, err := ml.MarshalModel(m.model)
+		if err != nil {
+			return fmt.Errorf("marshal %s: %w", m.id, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, m.id+".model.json"), blob, 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", m.id, err)
+		}
+		idx.Models = append(idx.Models, storeIndexEntry{ModelID: m.id, Algorithm: m.algo, Metrics: m.metrics})
+	}
+	raw, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal index: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), raw, 0o644); err != nil {
+		return fmt.Errorf("write index: %w", err)
+	}
+	return nil
+}
+
+// LoadStore restores a catalog previously written by SaveStore, replacing
+// the in-memory store.
+func (s *MLService) LoadStore(dir string) error {
+	raw, err := os.ReadFile(filepath.Join(dir, "index.json"))
+	if err != nil {
+		return fmt.Errorf("read index: %w", err)
+	}
+	var idx storeIndex
+	if err := json.Unmarshal(raw, &idx); err != nil {
+		return fmt.Errorf("parse index: %w", err)
+	}
+	loaded := make(map[string]*storedModel, len(idx.Models))
+	for _, e := range idx.Models {
+		if strings.ContainsAny(e.ModelID, "/\\") {
+			return fmt.Errorf("invalid model id %q in index", e.ModelID)
+		}
+		blob, err := os.ReadFile(filepath.Join(dir, e.ModelID+".model.json"))
+		if err != nil {
+			return fmt.Errorf("read model %s: %w", e.ModelID, err)
+		}
+		model, err := ml.UnmarshalModel(blob)
+		if err != nil {
+			return fmt.Errorf("decode model %s: %w", e.ModelID, err)
+		}
+		loaded[e.ModelID] = &storedModel{id: e.ModelID, algo: e.Algorithm, model: model, metrics: e.Metrics}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.models = loaded
+	s.nextID = idx.NextID
+	return nil
+}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestModelStoreSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	mls := NewMLService()
+	srv := httptest.NewServer(mls)
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+	ctx := context.Background()
+
+	tb := sepTable(150)
+	first, err := c.Train(ctx, TrainRequest{Algorithm: "lr", Train: FromTable(tb), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Train(ctx, TrainRequest{Algorithm: "dt", Train: FromTable(tb), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPred, err := c.Predict(ctx, PredictRequest{ModelID: first.ModelID, Instances: tb.X[:5]})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := mls.SaveStore(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh service instance (simulated redeploy) restores the store.
+	mls2 := NewMLService()
+	if err := mls2.LoadStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(mls2)
+	defer srv2.Close()
+	c2 := &Client{BaseURL: srv2.URL}
+
+	gotPred, err := c2.Predict(ctx, PredictRequest{ModelID: first.ModelID, Instances: tb.X[:5]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantPred.Classes {
+		if gotPred.Classes[i] != wantPred.Classes[i] {
+			t.Fatal("restored model predicts differently")
+		}
+	}
+	if _, err := c2.FetchModel(ctx, second.ModelID); err != nil {
+		t.Fatal(err)
+	}
+
+	// The id counter resumes: a new model must not collide.
+	third, err := c2.Train(ctx, TrainRequest{Algorithm: "lr", Train: FromTable(tb), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.ModelID == first.ModelID || third.ModelID == second.ModelID {
+		t.Fatalf("model id collision: %s", third.ModelID)
+	}
+}
+
+func TestLoadStoreErrors(t *testing.T) {
+	mls := NewMLService()
+	if err := mls.LoadStore(t.TempDir()); err == nil {
+		t.Fatal("expected missing-index error")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := mls.LoadStore(dir); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "index.json"),
+		[]byte(`{"nextId":1,"models":[{"modelId":"../evil","algorithm":"lr"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := mls.LoadStore(dir); err == nil {
+		t.Fatal("expected invalid-id error")
+	}
+}

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"image/png"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/ml"
+)
+
+func TestOcclusionServicePNG(t *testing.T) {
+	size := 8
+	imgTable := dataset.New("img", make([]string, size*size), []string{"dark", "bright"})
+	for j := range imgTable.FeatureNames {
+		imgTable.FeatureNames[j] = "px"
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 80; i++ {
+		y := i % 2
+		img := make([]float64, size*size)
+		for p := range img {
+			img[p] = float64(y) + rng.NormFloat64()*0.2
+		}
+		_ = imgTable.Append(img, y)
+	}
+	m := ml.NewMLP(ml.MLPConfig{Hidden: []int{8}, LearningRate: 0.05, Momentum: 0.9, Epochs: 8, BatchSize: 16, Seed: 1})
+	if err := m.Fit(imgTable); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ml.MarshalModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(NewOcclusionService())
+	defer srv.Close()
+	body, err := json.Marshal(OcclusionRequest{
+		Model:  blob,
+		Image:  imgTable.X[0],
+		Class:  imgTable.Y[0],
+		W:      size,
+		H:      size,
+		Window: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/explain/png", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "image/png" {
+		t.Fatalf("content type %q", ct)
+	}
+	img, err := png.Decode(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x2 heatmap rendered at scale 8.
+	if img.Bounds().Dx() != 16 || img.Bounds().Dy() != 16 {
+		t.Fatalf("png bounds %v", img.Bounds())
+	}
+}

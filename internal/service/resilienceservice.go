@@ -1,0 +1,101 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/attack"
+	"repro/internal/ml"
+	"repro/internal/resilience"
+)
+
+// PoisonImpactRequest asks for a poisoning resilience report from already-
+// measured baseline and poisoned metrics.
+type PoisonImpactRequest struct {
+	Baseline ml.Metrics `json:"baseline"`
+	Poisoned ml.Metrics `json:"poisoned"`
+	Rate     float64    `json:"rate"`
+}
+
+// EvasionImpactRequest asks the service to run FGSM against an inline
+// model (the victim doubles as the surrogate when it is differentiable) on
+// the provided clean samples, and report impact/complexity. When Surrogate
+// is present it is used to craft the perturbations instead (transfer
+// attack).
+type EvasionImpactRequest struct {
+	Model     json.RawMessage `json:"model"`
+	Surrogate json.RawMessage `json:"surrogate,omitempty"`
+	Clean     TableJSON       `json:"clean"`
+	Eps       float64         `json:"eps"`
+}
+
+// ResilienceService exposes the impact/complexity metrics.
+type ResilienceService struct{ *base }
+
+// NewResilienceService constructs the service.
+func NewResilienceService() *ResilienceService {
+	s := &ResilienceService{base: newBase("resilience")}
+	s.handle("POST /impact/poisoning", s.handlePoisoning)
+	s.handle("POST /impact/evasion", s.handleEvasion)
+	return s
+}
+
+func (s *ResilienceService) handlePoisoning(w http.ResponseWriter, r *http.Request) {
+	var req PoisonImpactRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rep, err := resilience.Poisoning(req.Baseline, req.Poisoned, req.Rate)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *ResilienceService) handleEvasion(w http.ResponseWriter, r *http.Request) {
+	var req EvasionImpactRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	victim, err := decodeModel(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	surrogateModel := victim
+	if len(req.Surrogate) > 0 {
+		surrogateModel, err = decodeModel(req.Surrogate)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("surrogate: %w", err))
+			return
+		}
+	}
+	grad, ok := surrogateModel.(ml.GradientClassifier)
+	if !ok {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("model kind %q is not differentiable; provide a differentiable surrogate", surrogateModel.Name()))
+		return
+	}
+	clean, err := req.Clean.ToTable()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("clean table: %w", err))
+		return
+	}
+	res, err := attack.FGSM(grad, clean, req.Eps)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	rep, err := resilience.Evasion(victim, clean, res.Adversarial, res.CraftCost)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+var _ http.Handler = (*ResilienceService)(nil)

@@ -1,0 +1,169 @@
+// Package service implements SPATIAL's metric micro-services: the
+// ML-pipeline service that trains and serves models, and one service per
+// trustworthy-property metric (SHAP, LIME, occlusion sensitivity,
+// resilience). Each service is an http.Handler with a JSON contract, so it
+// can run in its own process behind the API gateway or be mounted in a
+// single process for tests and examples.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// TableJSON is the wire form of a labelled dataset.
+type TableJSON struct {
+	Name         string      `json:"name,omitempty"`
+	FeatureNames []string    `json:"featureNames"`
+	ClassNames   []string    `json:"classNames"`
+	X            [][]float64 `json:"x"`
+	Y            []int       `json:"y"`
+}
+
+// ToTable validates and converts the wire form into a dataset.Table.
+func (tj *TableJSON) ToTable() (*dataset.Table, error) {
+	t := dataset.New(tj.Name, tj.FeatureNames, tj.ClassNames)
+	t.X = tj.X
+	t.Y = tj.Y
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// FromTable converts a dataset.Table into its wire form.
+func FromTable(t *dataset.Table) TableJSON {
+	return TableJSON{
+		Name:         t.Name,
+		FeatureNames: t.FeatureNames,
+		ClassNames:   t.ClassNames,
+		X:            t.X,
+		Y:            t.Y,
+	}
+}
+
+// errorBody is the uniform error envelope of every service.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes v with the given status, logging encode failures.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("service: encode response: %v", err)
+	}
+}
+
+// writeError writes the error envelope.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// readJSON decodes the request body into v, rejecting unknown fields so
+// client/server contract drift fails loudly.
+func readJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decode request: %w", err)
+	}
+	return nil
+}
+
+// Health is the payload served on every service's /healthz.
+type Health struct {
+	Service string `json:"service"`
+	Status  string `json:"status"`
+	UptimeS int64  `json:"uptimeS"`
+}
+
+// Stats tracks simple request statistics for a service, mirroring what the
+// paper's capacity experiments read off the deployment.
+type Stats struct {
+	mu        sync.Mutex
+	requests  int64
+	errors    int64
+	totalTime time.Duration
+}
+
+func (s *Stats) record(d time.Duration, failed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	s.totalTime += d
+	if failed {
+		s.errors++
+	}
+}
+
+// Snapshot returns (requests, errors, mean latency).
+func (s *Stats) Snapshot() (requests, errors int64, meanLatency time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.requests > 0 {
+		meanLatency = s.totalTime / time.Duration(s.requests)
+	}
+	return s.requests, s.errors, meanLatency
+}
+
+// statusRecorder captures the response status for stats middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// newBase builds the shared mux for a service: /healthz, /stats, and stats
+// middleware around every registered handler.
+type base struct {
+	name    string
+	mux     *http.ServeMux
+	stats   Stats
+	started time.Time
+}
+
+func newBase(name string) *base {
+	b := &base{name: name, mux: http.NewServeMux(), started: time.Now()}
+	b.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, Health{
+			Service: b.name,
+			Status:  "ok",
+			UptimeS: int64(time.Since(b.started).Seconds()),
+		})
+	})
+	b.mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		req, errs, mean := b.stats.Snapshot()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"service":       b.name,
+			"requests":      req,
+			"errors":        errs,
+			"meanLatencyMs": float64(mean.Microseconds()) / 1e3,
+		})
+	})
+	return b
+}
+
+// handle registers a handler with stats tracking.
+func (b *base) handle(pattern string, h http.HandlerFunc) {
+	b.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		b.stats.record(time.Since(start), rec.status >= 400)
+	})
+}
+
+// ServeHTTP implements http.Handler.
+func (b *base) ServeHTTP(w http.ResponseWriter, r *http.Request) { b.mux.ServeHTTP(w, r) }

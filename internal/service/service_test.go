@@ -1,0 +1,393 @@
+package service
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/ml"
+)
+
+func sepTable(n int) *dataset.Table {
+	rng := rand.New(rand.NewSource(1))
+	tb := dataset.New("sep", []string{"f0", "f1"}, []string{"a", "b"})
+	for i := 0; i < n; i++ {
+		y := i % 2
+		_ = tb.Append([]float64{float64(y)*4 - 2 + rng.NormFloat64()*0.4, rng.NormFloat64()}, y)
+	}
+	return tb
+}
+
+func TestMLServiceTrainPredictFetch(t *testing.T) {
+	srv := httptest.NewServer(NewMLService())
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+	ctx := context.Background()
+
+	tb := sepTable(200)
+	resp, err := c.Train(ctx, TrainRequest{Algorithm: "lr", Train: FromTable(tb), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ModelID == "" {
+		t.Fatal("empty model id")
+	}
+	if resp.Metrics.Accuracy < 0.95 {
+		t.Fatalf("train accuracy %.3f", resp.Metrics.Accuracy)
+	}
+
+	pred, err := c.Predict(ctx, PredictRequest{ModelID: resp.ModelID, Instances: [][]float64{{-2, 0}, {2, 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Classes[0] != 0 || pred.Classes[1] != 1 {
+		t.Fatalf("predictions %v", pred.Classes)
+	}
+
+	model, err := c.FetchModel(ctx, resp.ModelID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.Predict(model, []float64{2, 0}) != 1 {
+		t.Fatal("fetched model predicts differently")
+	}
+
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Service != "ml-pipeline" || h.Status != "ok" {
+		t.Fatalf("health %+v", h)
+	}
+}
+
+func TestMLServiceErrors(t *testing.T) {
+	srv := httptest.NewServer(NewMLService())
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+	ctx := context.Background()
+
+	if _, err := c.Train(ctx, TrainRequest{Algorithm: "nope", Train: FromTable(sepTable(10))}); err == nil {
+		t.Fatal("expected unknown-algorithm error")
+	}
+	bad := TrainRequest{Algorithm: "lr", Train: TableJSON{FeatureNames: []string{"f"}, ClassNames: []string{"a"}, X: [][]float64{{1, 2}}, Y: []int{0}}}
+	if _, err := c.Train(ctx, bad); err == nil {
+		t.Fatal("expected invalid-table error")
+	}
+	if _, err := c.Predict(ctx, PredictRequest{ModelID: "missing"}); err == nil {
+		t.Fatal("expected model-not-found error")
+	}
+	if _, err := c.FetchModel(ctx, "missing"); err == nil {
+		t.Fatal("expected fetch error")
+	}
+}
+
+func TestSHAPServiceRoundTrip(t *testing.T) {
+	tb := sepTable(200)
+	m := ml.NewLogReg(ml.DefaultLogRegConfig())
+	if err := m.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ml.MarshalModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(NewSHAPService())
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+
+	attr, err := c.SHAP(context.Background(), SHAPRequest{
+		Model:      blob,
+		Instance:   []float64{2, 0},
+		Class:      1,
+		Background: [][]float64{{-2, 0}, {0, 0}},
+		Samples:    200,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attr) != 2 {
+		t.Fatalf("attribution len %d", len(attr))
+	}
+	if attr[0] <= math.Abs(attr[1]) {
+		t.Fatalf("informative feature should dominate: %v", attr)
+	}
+}
+
+func TestSHAPServiceRejectsGarbageModel(t *testing.T) {
+	srv := httptest.NewServer(NewSHAPService())
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+	_, err := c.SHAP(context.Background(), SHAPRequest{
+		Model:      []byte(`{"kind":"alien","spec":{}}`),
+		Instance:   []float64{1},
+		Background: [][]float64{{0}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown model kind") {
+		t.Fatalf("expected unknown-kind error, got %v", err)
+	}
+}
+
+func TestLIMEServiceTabularAndImage(t *testing.T) {
+	tb := sepTable(200)
+	m := ml.NewLogReg(ml.DefaultLogRegConfig())
+	if err := m.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ml.MarshalModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(NewLIMEService())
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+	ctx := context.Background()
+
+	attr, err := c.LIMETabular(ctx, LIMETabularRequest{
+		Model:    blob,
+		Instance: []float64{2, 0},
+		Class:    1,
+		Scale:    []float64{1, 1},
+		Samples:  400,
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attr) != 2 || attr[0] <= 0 {
+		t.Fatalf("tabular lime attribution %v", attr)
+	}
+
+	// Train a tiny image model for the image endpoint.
+	size := 8
+	imgTable := dataset.New("img", make([]string, size*size), []string{"dark", "bright"})
+	for j := range imgTable.FeatureNames {
+		imgTable.FeatureNames[j] = "px"
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 120; i++ {
+		y := i % 2
+		img := make([]float64, size*size)
+		for p := range img {
+			img[p] = float64(y) + rng.NormFloat64()*0.2
+		}
+		_ = imgTable.Append(img, y)
+	}
+	im := ml.NewMLP(ml.MLPConfig{Hidden: []int{8}, LearningRate: 0.05, Momentum: 0.9, Epochs: 10, BatchSize: 16, Seed: 1})
+	if err := im.Fit(imgTable); err != nil {
+		t.Fatal(err)
+	}
+	iblob, err := ml.MarshalModel(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights, err := c.LIMEImage(ctx, LIMEImageRequest{
+		Model:   iblob,
+		Image:   imgTable.X[0],
+		Class:   imgTable.Y[0],
+		W:       size,
+		H:       size,
+		Patch:   4,
+		Samples: 100,
+		Seed:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(weights) != 4 {
+		t.Fatalf("image lime weights %d, want 4 segments", len(weights))
+	}
+}
+
+func TestOcclusionService(t *testing.T) {
+	size := 8
+	imgTable := dataset.New("img", make([]string, size*size), []string{"dark", "bright"})
+	for j := range imgTable.FeatureNames {
+		imgTable.FeatureNames[j] = "px"
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		y := i % 2
+		img := make([]float64, size*size)
+		for p := range img {
+			img[p] = float64(y) + rng.NormFloat64()*0.2
+		}
+		_ = imgTable.Append(img, y)
+	}
+	m := ml.NewMLP(ml.MLPConfig{Hidden: []int{8}, LearningRate: 0.05, Momentum: 0.9, Epochs: 10, BatchSize: 16, Seed: 1})
+	if err := m.Fit(imgTable); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ml.MarshalModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(NewOcclusionService())
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+	resp, err := c.Occlusion(context.Background(), OcclusionRequest{
+		Model:  blob,
+		Image:  imgTable.X[0],
+		Class:  imgTable.Y[0],
+		W:      size,
+		H:      size,
+		Window: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cols != 2 || resp.Rows != 2 || len(resp.Heatmap) != 4 {
+		t.Fatalf("occlusion geometry %+v", resp)
+	}
+}
+
+func TestResilienceServicePoisoning(t *testing.T) {
+	srv := httptest.NewServer(NewResilienceService())
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+	rep, err := c.PoisonImpact(context.Background(), PoisonImpactRequest{
+		Baseline: ml.Metrics{Accuracy: 0.9},
+		Poisoned: ml.Metrics{Accuracy: 0.45},
+		Rate:     0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Impact-0.5) > 1e-12 {
+		t.Fatalf("impact %v", rep.Impact)
+	}
+	if _, err := c.PoisonImpact(context.Background(), PoisonImpactRequest{Rate: 7}); err == nil {
+		t.Fatal("expected rate error")
+	}
+}
+
+func TestResilienceServiceEvasion(t *testing.T) {
+	tb := sepTable(300)
+	m := ml.NewLogReg(ml.DefaultLogRegConfig())
+	if err := m.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ml.MarshalModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(NewResilienceService())
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+	rep, err := c.EvasionImpact(context.Background(), EvasionImpactRequest{
+		Model: blob,
+		Clean: FromTable(tb),
+		Eps:   2.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Impact <= 0 {
+		t.Fatalf("evasion impact %v should be positive", rep.Impact)
+	}
+	if rep.ComplexityUnit != "us/sample" {
+		t.Fatalf("complexity unit %q", rep.ComplexityUnit)
+	}
+}
+
+func TestResilienceServiceEvasionNeedsGradientModel(t *testing.T) {
+	tb := sepTable(100)
+	m := ml.NewTree(ml.DefaultTreeConfig())
+	if err := m.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ml.MarshalModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewResilienceService())
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+	_, err = c.EvasionImpact(context.Background(), EvasionImpactRequest{Model: blob, Clean: FromTable(tb), Eps: 0.5})
+	if err == nil || !strings.Contains(err.Error(), "not differentiable") {
+		t.Fatalf("expected differentiability error, got %v", err)
+	}
+}
+
+func TestResilienceServiceEvasionWithSurrogate(t *testing.T) {
+	tb := sepTable(200)
+	victim := ml.NewTree(ml.DefaultTreeConfig())
+	if err := victim.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	surrogate := ml.NewLogReg(ml.DefaultLogRegConfig())
+	if err := surrogate.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	vblob, err := ml.MarshalModel(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sblob, err := ml.MarshalModel(surrogate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewResilienceService())
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+	rep, err := c.EvasionImpact(context.Background(), EvasionImpactRequest{
+		Model:     vblob,
+		Surrogate: sblob,
+		Clean:     FromTable(tb),
+		Eps:       2.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BaselineAccuracy <= 0 {
+		t.Fatalf("baseline accuracy %v", rep.BaselineAccuracy)
+	}
+}
+
+func TestWaitHealthy(t *testing.T) {
+	srv := httptest.NewServer(NewSHAPService())
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+	if err := c.WaitHealthy(context.Background(), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	dead := &Client{BaseURL: "http://127.0.0.1:1"}
+	if err := dead.WaitHealthy(context.Background(), 200*time.Millisecond); err == nil {
+		t.Fatal("expected timeout against dead endpoint")
+	}
+}
+
+func TestStatsEndpointCountsRequests(t *testing.T) {
+	mls := NewMLService()
+	srv := httptest.NewServer(mls)
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+	ctx := context.Background()
+	_, _ = c.Predict(ctx, PredictRequest{ModelID: "nope"}) // 404 -> error count
+	req, errs, _ := mls.stats.Snapshot()
+	if req != 1 || errs != 1 {
+		t.Fatalf("stats %d/%d, want 1/1", req, errs)
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tb := sepTable(10)
+	wire := FromTable(tb)
+	back, err := wire.ToTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tb.Len() || back.NumClasses() != tb.NumClasses() {
+		t.Fatal("table round trip changed shape")
+	}
+}

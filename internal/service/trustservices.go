@@ -1,0 +1,122 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/fairness"
+	"repro/internal/privacy"
+)
+
+// FairnessRequest asks the fairness micro-service for a group-fairness
+// report over already-computed predictions.
+type FairnessRequest struct {
+	Pred       []int     `json:"pred"`
+	Truth      []int     `json:"truth"`
+	Group      []int     `json:"group"`
+	Positive   int       `json:"positive"`
+	GroupNames [2]string `json:"groupNames"`
+}
+
+// FairnessService wraps the fairness metrics.
+type FairnessService struct{ *base }
+
+// NewFairnessService constructs the service.
+func NewFairnessService() *FairnessService {
+	s := &FairnessService{base: newBase("fairness")}
+	s.handle("POST /fairness", s.handleFairness)
+	return s
+}
+
+func (s *FairnessService) handleFairness(w http.ResponseWriter, r *http.Request) {
+	var req FairnessRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rep, err := fairness.Evaluate(req.Pred, req.Truth, req.Group, req.Positive, req.GroupNames)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// MembershipRequest asks the privacy micro-service to run the
+// membership-inference attack against an inline model.
+type MembershipRequest struct {
+	Model      json.RawMessage `json:"model"`
+	Members    TableJSON       `json:"members"`
+	NonMembers TableJSON       `json:"nonMembers"`
+}
+
+// MembershipResponse extends the attack result with the normalized
+// privacy score the sensor publishes.
+type MembershipResponse struct {
+	privacy.MembershipResult
+	PrivacyScore float64 `json:"privacyScore"`
+}
+
+// PrivacyService wraps the privacy metrics.
+type PrivacyService struct{ *base }
+
+// NewPrivacyService constructs the service.
+func NewPrivacyService() *PrivacyService {
+	s := &PrivacyService{base: newBase("privacy")}
+	s.handle("POST /membership", s.handleMembership)
+	return s
+}
+
+func (s *PrivacyService) handleMembership(w http.ResponseWriter, r *http.Request) {
+	var req MembershipRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	model, err := decodeModel(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	members, err := req.Members.ToTable()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("members table: %w", err))
+		return
+	}
+	nonMembers, err := req.NonMembers.ToTable()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("nonMembers table: %w", err))
+		return
+	}
+	res, err := privacy.MembershipInference(model, members, nonMembers)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MembershipResponse{
+		MembershipResult: res,
+		PrivacyScore:     privacy.PrivacyScore(res.Advantage),
+	})
+}
+
+// Fairness requests a fairness report from the fairness service.
+func (c *Client) Fairness(ctx context.Context, req FairnessRequest) (fairness.Report, error) {
+	var rep fairness.Report
+	err := c.do(ctx, http.MethodPost, "/fairness", req, &rep)
+	return rep, err
+}
+
+// Membership requests a membership-inference report from the privacy
+// service.
+func (c *Client) Membership(ctx context.Context, req MembershipRequest) (MembershipResponse, error) {
+	var resp MembershipResponse
+	err := c.do(ctx, http.MethodPost, "/membership", req, &resp)
+	return resp, err
+}
+
+var (
+	_ http.Handler = (*FairnessService)(nil)
+	_ http.Handler = (*PrivacyService)(nil)
+)

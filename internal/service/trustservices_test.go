@@ -1,0 +1,93 @@
+package service
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/ml"
+)
+
+func TestFairnessService(t *testing.T) {
+	srv := httptest.NewServer(NewFairnessService())
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+
+	rep, err := c.Fairness(context.Background(), FairnessRequest{
+		Pred:       []int{1, 1, 0, 0, 1, 0, 0, 0},
+		Truth:      []int{1, 1, 0, 0, 1, 1, 0, 0},
+		Group:      []int{0, 0, 0, 0, 1, 1, 1, 1},
+		Positive:   1,
+		GroupNames: [2]string{"A", "B"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.DemographicParityDiff-0.25) > 1e-12 {
+		t.Fatalf("DP diff %v", rep.DemographicParityDiff)
+	}
+	if len(rep.Groups) != 2 {
+		t.Fatalf("groups %d", len(rep.Groups))
+	}
+
+	// Misaligned inputs must be rejected.
+	if _, err := c.Fairness(context.Background(), FairnessRequest{
+		Pred: []int{1}, Truth: []int{1, 0}, Group: []int{0},
+	}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestPrivacyService(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	members := sepTable(120)
+	nonMembers := sepTable(120)
+	for _, row := range nonMembers.X {
+		row[0] += rng.NormFloat64() * 0.5 // shift so the overfit tree is unsure
+		row[1] += rng.NormFloat64() * 0.5
+	}
+	overfit := ml.NewTree(ml.TreeConfig{MaxDepth: 0, MinLeaf: 1, Seed: 1})
+	if err := overfit.Fit(members); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ml.MarshalModel(overfit)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(NewPrivacyService())
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+	resp, err := c.Membership(context.Background(), MembershipRequest{
+		Model:      blob,
+		Members:    FromTable(members),
+		NonMembers: FromTable(nonMembers),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Advantage < 0 || resp.Advantage > 1 {
+		t.Fatalf("advantage %v", resp.Advantage)
+	}
+	if math.Abs(resp.PrivacyScore-(1-resp.Advantage)) > 1e-12 {
+		t.Fatalf("privacy score %v inconsistent with advantage %v", resp.PrivacyScore, resp.Advantage)
+	}
+
+	if _, err := c.Membership(context.Background(), MembershipRequest{
+		Model:   blob,
+		Members: FromTable(members),
+		// NonMembers empty -> invalid
+		NonMembers: TableJSON{FeatureNames: members.FeatureNames, ClassNames: members.ClassNames},
+	}); err == nil {
+		t.Fatal("expected empty-nonmembers error")
+	}
+	if _, err := c.Membership(context.Background(), MembershipRequest{
+		Model:      []byte(`{"kind":"bogus","spec":{}}`),
+		Members:    FromTable(members),
+		NonMembers: FromTable(nonMembers),
+	}); err == nil {
+		t.Fatal("expected bad-model error")
+	}
+}

@@ -1,0 +1,56 @@
+package xai
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// Dissimilarity implements the paper's SHAP-based poisoning indicator
+// (Fig. 6(a)-iv): for each instance, find its k nearest neighbours in
+// feature space, measure the mean Euclidean distance between the SHAP
+// explanations of the instance and those neighbours, and average over all
+// instances. Clean models explain similar inputs similarly, so the value
+// rises when training data has been poisoned.
+//
+// instances[i] and explanations[i] must be aligned; k neighbours are drawn
+// from the same set (excluding the instance itself).
+func Dissimilarity(instances, explanations [][]float64, k int) (float64, error) {
+	n := len(instances)
+	if n != len(explanations) {
+		return 0, fmt.Errorf("xai: %d instances but %d explanations", n, len(explanations))
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("xai: need at least 2 instances, got %d", n)
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("xai: k must be >= 1, got %d", k)
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+
+	type distIdx struct {
+		d float64
+		i int
+	}
+	var total float64
+	dists := make([]distIdx, 0, n-1)
+	for i := 0; i < n; i++ {
+		dists = dists[:0]
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			dists = append(dists, distIdx{d: mat.Dist2(instances[i], instances[j]), i: j})
+		}
+		sort.Slice(dists, func(a, b int) bool { return dists[a].d < dists[b].d })
+		var mean float64
+		for _, nb := range dists[:k] {
+			mean += mat.Dist2(explanations[i], explanations[nb.i])
+		}
+		total += mean / float64(k)
+	}
+	return total / float64(n), nil
+}

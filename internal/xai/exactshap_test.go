@@ -1,0 +1,132 @@
+package xai
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/ml"
+)
+
+func TestExactSHAPLinearGroundTruth(t *testing.T) {
+	// For a model linear in probability space with an independent
+	// background, phi_j = w_j (x_j − mean b_j) exactly.
+	w := []float64{0.05, -0.08, 0.12, 0, 0.02}
+	model := &rawLinear{w: w}
+	background := [][]float64{
+		{1, 1, 0, 2, 1},
+		{0, 2, 1, 0, 0},
+		{2, 0, 2, 1, 2},
+	}
+	meanB := []float64{1, 1, 1, 1, 1}
+	x := []float64{3, 1, 2, 1, -1}
+	exact := &ExactSHAP{Model: model, Background: background}
+	phi, err := exact.Explain(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range w {
+		want := w[j] * (x[j] - meanB[j])
+		if math.Abs(phi[j]-want) > 1e-12 {
+			t.Fatalf("phi[%d] = %v, want %v", j, phi[j], want)
+		}
+	}
+}
+
+func TestExactSHAPEfficiencyOnNonlinearModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	tb := trainSmallTableFor(t, rng)
+	m := ml.NewMLP(ml.MLPConfig{Hidden: []int{6}, LearningRate: 0.05, Momentum: 0.9, Epochs: 10, BatchSize: 16, Seed: 1})
+	if err := m.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	exact := &ExactSHAP{Model: m, Background: tb.X[:4]}
+	x := tb.X[10]
+	phi, err := exact.Explain(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := m.PredictProba(x)[1]
+	var f0 float64
+	for _, b := range tb.X[:4] {
+		f0 += m.PredictProba(b)[1]
+	}
+	f0 /= 4
+	if math.Abs(mat.Sum(phi)-(fx-f0)) > 1e-9 {
+		t.Fatalf("efficiency violated: sum=%v want=%v", mat.Sum(phi), fx-f0)
+	}
+}
+
+// TestKernelSHAPConvergesToExact is the estimator's calibration test: on a
+// nonlinear model, KernelSHAP with a generous budget must approximate the
+// enumerated ground truth.
+func TestKernelSHAPConvergesToExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tb := trainSmallTableFor(t, rng)
+	m := ml.NewMLP(ml.MLPConfig{Hidden: []int{6}, LearningRate: 0.05, Momentum: 0.9, Epochs: 10, BatchSize: 16, Seed: 1})
+	if err := m.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	background := tb.X[:3]
+	x := tb.X[7]
+	exact := &ExactSHAP{Model: m, Background: background}
+	want, err := exact.Explain(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernel := &KernelSHAP{Model: m, Background: background, Samples: 4000, Seed: 2}
+	got, err := kernel.Explain(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 0.02 {
+			t.Fatalf("kernel phi[%d]=%.4f vs exact %.4f", j, got[j], want[j])
+		}
+	}
+}
+
+func TestExactSHAPValidation(t *testing.T) {
+	model := &rawLinear{w: make([]float64, 25)}
+	big := make([]float64, 25)
+	e := &ExactSHAP{Model: model, Background: [][]float64{big}}
+	if _, err := e.Explain(big, 1); err == nil {
+		t.Fatal("expected too-many-features error")
+	}
+	e2 := &ExactSHAP{Model: &rawLinear{w: []float64{1}}}
+	if _, err := e2.Explain([]float64{1}, 1); err == nil {
+		t.Fatal("expected no-background error")
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := map[[2]int]float64{
+		{5, 0}: 1, {5, 5}: 1, {5, 2}: 10, {10, 3}: 120, {4, 7}: 0,
+	}
+	for in, want := range cases {
+		if got := binomial(in[0], in[1]); got != want {
+			t.Fatalf("C(%d,%d) = %v, want %v", in[0], in[1], got, want)
+		}
+	}
+}
+
+// trainSmallTableFor builds a 5-feature binary table for the exact-SHAP
+// tests (small d keeps 2^d enumeration fast).
+func trainSmallTableFor(t *testing.T, rng *rand.Rand) *dataset.Table {
+	t.Helper()
+	tb := dataset.New("exact", []string{"a", "b", "c", "d", "e"}, []string{"neg", "pos"})
+	for i := 0; i < 200; i++ {
+		y := i % 2
+		row := []float64{
+			float64(y) + rng.NormFloat64()*0.4,
+			rng.NormFloat64(),
+			-float64(y)*0.8 + rng.NormFloat64()*0.5,
+			rng.NormFloat64(),
+			float64(y)*0.5 + rng.NormFloat64()*0.6,
+		}
+		_ = tb.Append(row, y)
+	}
+	return tb
+}

@@ -1,0 +1,98 @@
+package xai
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/ml"
+)
+
+func trainSmallMLP(t *testing.T) (*ml.MLP, *dataset.Table) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(20))
+	tb := dataset.New("sep", []string{"a", "b", "c"}, []string{"neg", "pos"})
+	for i := 0; i < 300; i++ {
+		y := i % 2
+		_ = tb.Append([]float64{
+			float64(y)*2 - 1 + rng.NormFloat64()*0.3,
+			rng.NormFloat64(),
+			-(float64(y)*2 - 1) + rng.NormFloat64()*0.5,
+		}, y)
+	}
+	m := ml.NewMLP(ml.MLPConfig{Hidden: []int{12}, LearningRate: 0.05, Momentum: 0.9, Epochs: 25, BatchSize: 16, Seed: 1})
+	if err := m.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	return m, tb
+}
+
+// TestIntegratedGradientsCompleteness checks the IG completeness axiom:
+// attributions sum to p(x) − p(baseline).
+func TestIntegratedGradientsCompleteness(t *testing.T) {
+	m, tb := trainSmallMLP(t)
+	baseline := make([]float64, 3)
+	ig := &IntegratedGradients{Model: m, Baseline: baseline, Steps: 300}
+	for i := 0; i < 10; i++ {
+		x := tb.X[i]
+		phi, err := ig.Explain(x, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m.PredictProba(x)[1] - m.PredictProba(baseline)[1]
+		if math.Abs(mat.Sum(phi)-want) > 0.02 {
+			t.Fatalf("completeness violated at sample %d: sum=%.4f want=%.4f", i, mat.Sum(phi), want)
+		}
+	}
+}
+
+func TestIntegratedGradientsRanksInformativeFeature(t *testing.T) {
+	m, tb := trainSmallMLP(t)
+	ig := &IntegratedGradients{Model: m, Steps: 100}
+	var expl [][]float64
+	for i := 0; i < 40; i++ {
+		phi, err := ig.Explain(tb.X[i], tb.Y[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		expl = append(expl, phi)
+	}
+	order, _ := FeatureImportance(expl)
+	// Feature 1 is pure noise; it must not be the top feature.
+	if order[0] == 1 {
+		t.Fatalf("noise feature ranked first: %v", order)
+	}
+}
+
+func TestIntegratedGradientsZeroAtBaseline(t *testing.T) {
+	m, _ := trainSmallMLP(t)
+	baseline := []float64{0.5, -0.3, 0.2}
+	ig := &IntegratedGradients{Model: m, Baseline: baseline, Steps: 20}
+	phi, err := ig.Explain(append([]float64(nil), baseline...), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range phi {
+		if v != 0 {
+			t.Fatalf("x == baseline should give zero attribution, phi[%d]=%v", j, v)
+		}
+	}
+}
+
+func TestIntegratedGradientsValidation(t *testing.T) {
+	m, tb := trainSmallMLP(t)
+	ig := &IntegratedGradients{}
+	if _, err := ig.Explain(tb.X[0], 0); err == nil {
+		t.Fatal("expected nil-model error")
+	}
+	ig2 := &IntegratedGradients{Model: m, Baseline: []float64{1}}
+	if _, err := ig2.Explain(tb.X[0], 0); err == nil {
+		t.Fatal("expected baseline-dim error")
+	}
+	ig3 := &IntegratedGradients{Model: m}
+	if _, err := ig3.Explain(tb.X[0], 7); err == nil {
+		t.Fatal("expected class-range error")
+	}
+}

@@ -1,0 +1,75 @@
+package xai
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+)
+
+// RenderHeatmap turns a row-major attribution grid (an occlusion map or
+// image-LIME segment weights) into an image with a diverging colormap:
+// red for positive contributions, blue for negative, white for zero —
+// the visual artifact the paper's AI dashboard shows operators. Each cell
+// is drawn as a scale×scale pixel block.
+func RenderHeatmap(values []float64, cols, rows, scale int) (image.Image, error) {
+	if cols <= 0 || rows <= 0 || len(values) != cols*rows {
+		return nil, fmt.Errorf("xai: heatmap geometry %dx%d incompatible with %d values", cols, rows, len(values))
+	}
+	if scale <= 0 {
+		scale = 8
+	}
+	var maxAbs float64
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("xai: non-finite heatmap value")
+		}
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	img := image.NewRGBA(image.Rect(0, 0, cols*scale, rows*scale))
+	for ry := 0; ry < rows; ry++ {
+		for rx := 0; rx < cols; rx++ {
+			c := divergingColor(values[ry*cols+rx], maxAbs)
+			for yy := ry * scale; yy < (ry+1)*scale; yy++ {
+				for xx := rx * scale; xx < (rx+1)*scale; xx++ {
+					img.SetRGBA(xx, yy, c)
+				}
+			}
+		}
+	}
+	return img, nil
+}
+
+// divergingColor maps v/maxAbs in [-1,1] onto blue-white-red.
+func divergingColor(v, maxAbs float64) color.RGBA {
+	if maxAbs == 0 {
+		return color.RGBA{255, 255, 255, 255}
+	}
+	t := v / maxAbs // [-1, 1]
+	switch {
+	case t >= 0:
+		// white -> red
+		g := uint8(255 * (1 - t))
+		return color.RGBA{255, g, g, 255}
+	default:
+		// white -> blue
+		g := uint8(255 * (1 + t))
+		return color.RGBA{g, g, 255, 255}
+	}
+}
+
+// WriteHeatmapPNG renders and PNG-encodes an attribution grid.
+func WriteHeatmapPNG(w io.Writer, values []float64, cols, rows, scale int) error {
+	img, err := RenderHeatmap(values, cols, rows, scale)
+	if err != nil {
+		return err
+	}
+	if err := png.Encode(w, img); err != nil {
+		return fmt.Errorf("xai: encode heatmap: %w", err)
+	}
+	return nil
+}

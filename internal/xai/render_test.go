@@ -1,0 +1,73 @@
+package xai
+
+import (
+	"bytes"
+	"image/color"
+	"image/png"
+	"math"
+	"testing"
+)
+
+func TestRenderHeatmapGeometryAndColors(t *testing.T) {
+	values := []float64{1, -1, 0, 0.5}
+	img, err := RenderHeatmap(values, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	if b.Dx() != 8 || b.Dy() != 8 {
+		t.Fatalf("bounds %v", b)
+	}
+	// Max positive -> pure red.
+	if c := img.At(0, 0).(color.RGBA); c.R != 255 || c.G != 0 || c.B != 0 {
+		t.Fatalf("positive extreme %v", c)
+	}
+	// Max negative -> pure blue.
+	if c := img.At(4, 0).(color.RGBA); c.B != 255 || c.R != 0 || c.G != 0 {
+		t.Fatalf("negative extreme %v", c)
+	}
+	// Zero -> white.
+	if c := img.At(0, 4).(color.RGBA); c.R != 255 || c.G != 255 || c.B != 255 {
+		t.Fatalf("zero cell %v", c)
+	}
+}
+
+func TestRenderHeatmapAllZero(t *testing.T) {
+	img, err := RenderHeatmap([]float64{0, 0}, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := img.At(0, 0).(color.RGBA); c.R != 255 || c.G != 255 || c.B != 255 {
+		t.Fatalf("all-zero map should be white, got %v", c)
+	}
+}
+
+func TestRenderHeatmapValidation(t *testing.T) {
+	if _, err := RenderHeatmap([]float64{1, 2, 3}, 2, 2, 1); err == nil {
+		t.Fatal("expected geometry error")
+	}
+	if _, err := RenderHeatmap([]float64{math.NaN()}, 1, 1, 1); err == nil {
+		t.Fatal("expected non-finite error")
+	}
+}
+
+func TestWriteHeatmapPNGRoundTrip(t *testing.T) {
+	m, tb, size := trainShapesModel(t)
+	occ := &Occlusion{Model: m, W: size, H: size, Window: 4, Stride: 4}
+	heat, err := occ.Explain(tb.X[0], tb.Y[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, rows := occ.HeatmapSize()
+	var buf bytes.Buffer
+	if err := WriteHeatmapPNG(&buf, heat, cols, rows, 8); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Bounds().Dx() != cols*8 || decoded.Bounds().Dy() != rows*8 {
+		t.Fatalf("decoded bounds %v", decoded.Bounds())
+	}
+}
