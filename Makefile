@@ -19,8 +19,9 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/gateway/ ./internal/sensor/ ./internal/loadgen/ \
-		./internal/dashboard/ ./internal/service/ ./internal/core/ ./internal/audit/
+	$(GO) test -race ./internal/telemetry/ ./internal/gateway/ ./internal/sensor/ \
+		./internal/loadgen/ ./internal/dashboard/ ./internal/service/ \
+		./internal/core/ ./internal/audit/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -43,7 +43,7 @@ func run(args []string) error {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("dashboard on http://%s (ingest at POST /api/readings)\n", *addr)
+		fmt.Printf("dashboard on http://%s (ingest at POST /api/readings, scrape /metrics, spans at /traces)\n", *addr)
 		errCh <- srv.ListenAndServe()
 	}()
 	select {

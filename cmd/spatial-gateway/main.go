@@ -91,7 +91,7 @@ func run(args []string) error {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("gateway listening on http://%s (metrics at /gateway/metrics)\n", *addr)
+		fmt.Printf("gateway listening on http://%s (Prometheus exposition at /metrics, spans at /traces, route JSON at /gateway/metrics)\n", *addr)
 		errCh <- srv.ListenAndServe()
 	}()
 	select {

@@ -97,5 +97,16 @@ func run(args []string) error {
 	for _, p := range res.OverActiveThreads() {
 		fmt.Printf("%-14d %12v %8d\n", p.ActiveThreads, p.MeanLatency.Round(time.Millisecond), p.Count)
 	}
+
+	if len(s.SlowestTraces) > 0 {
+		fmt.Printf("\nSlowest traces (join against /traces?trace=<id> on the gateway and services)\n")
+		for _, ts := range s.SlowestTraces {
+			status := "ok"
+			if ts.Err {
+				status = "ERR"
+			}
+			fmt.Printf("  %s  %8v  %s\n", ts.TraceID, ts.Latency.Round(time.Millisecond), status)
+		}
+	}
 	return nil
 }

@@ -9,16 +9,21 @@
 //
 //	spatial-sensors -gateway http://127.0.0.1:8100 \
 //	  -dashboard http://127.0.0.1:8088 \
-//	  -model m0001 -test holdout.csv -interval 5s -min-accuracy 0.9
+//	  -model m0001 -test holdout.csv -interval 5s -min-accuracy 0.9 \
+//	  -metrics-addr 127.0.0.1:8109
 //
 // The test CSV must be in the dataset.WriteCSV format (feature columns
-// plus a final label column).
+// plus a final label column). The sensors' own collection metrics
+// (attempts, failures, durations, alerts) are scrapeable in Prometheus
+// format at http://<metrics-addr>/metrics.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,6 +34,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/sensor"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -48,6 +54,7 @@ func run(args []string) error {
 	minAccuracy := fs.Float64("min-accuracy", 0.8, "alert threshold for the performance sensor")
 	eps := fs.Float64("eps", 0.1, "FGSM budget used by the resilience sensor")
 	apiKey := fs.String("apikey", "", "gateway API key (optional)")
+	metricsAddr := fs.String("metrics-addr", "127.0.0.1:8109", "address serving this process's /metrics (empty to disable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,7 +95,10 @@ func run(args []string) error {
 	}
 	wireTest := service.FromTable(test)
 
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterRuntimeMetrics(reg)
 	manager := sensor.NewManager(&dashboard.Client{BaseURL: *dashboardURL})
+	manager.UseTelemetry(reg)
 	if err := manager.Register(&sensor.Sensor{
 		Name:     *modelID + "-accuracy",
 		Property: sensor.PropPerformance,
@@ -132,6 +142,19 @@ func run(args []string) error {
 		return err
 	}
 
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "spatial-sensors: metrics server:", err)
+			}
+		}()
+		fmt.Printf("sensor metrics on http://%s/metrics\n", *metricsAddr)
+	}
+
 	if err := manager.Start(ctx); err != nil {
 		return err
 	}
@@ -139,6 +162,11 @@ func run(args []string) error {
 		*interval, *gatewayURL, *dashboardURL)
 	<-ctx.Done()
 	manager.Stop()
+	if metricsSrv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = metricsSrv.Shutdown(shutCtx)
+	}
 	fmt.Println("sensors stopped")
 	return nil
 }

@@ -81,7 +81,7 @@ func run(args []string) error {
 		srv := &http.Server{Addr: e.addr, Handler: e.handler}
 		servers = append(servers, srv)
 		started++
-		fmt.Printf("starting %s on http://%s\n", e.name, e.addr)
+		fmt.Printf("starting %s on http://%s (scrape /metrics, spans at /traces)\n", e.name, e.addr)
 		wg.Add(1)
 		go func(name string, srv *http.Server) {
 			defer wg.Done()

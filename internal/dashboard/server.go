@@ -9,9 +9,11 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"repro/internal/audit"
 	"repro/internal/sensor"
+	"repro/internal/telemetry"
 )
 
 // Server is the AI dashboard's HTTP surface. It implements http.Handler.
@@ -19,10 +21,15 @@ import (
 // paper's accountability requirement ("facilitates the verification of AI
 // systems for potential audits").
 type Server struct {
-	store *Store
-	trail *audit.Log
-	mux   *http.ServeMux
-	tmpl  *template.Template
+	store   *Store
+	trail   *audit.Log
+	mux     *http.ServeMux
+	tmpl    *template.Template
+	tel     *telemetry.Registry
+	tracer  *telemetry.Tracer
+	handler http.Handler
+	metricH http.Handler
+	traceH  http.Handler
 }
 
 // NewServer builds a dashboard server over the given store (a new store is
@@ -31,12 +38,33 @@ func NewServer(store *Store) *Server {
 	if store == nil {
 		store = NewStore(0)
 	}
+	tel := telemetry.NewRegistry()
+	telemetry.RegisterRuntimeMetrics(tel)
+	tracer := telemetry.NewTracer(512)
 	s := &Server{
-		store: store,
-		trail: audit.NewLog(),
-		mux:   http.NewServeMux(),
-		tmpl:  template.Must(template.New("index").Parse(indexHTML)),
+		store:   store,
+		trail:   audit.NewLog(),
+		mux:     http.NewServeMux(),
+		tmpl:    template.Must(template.New("index").Parse(indexHTML)),
+		tel:     tel,
+		tracer:  tracer,
+		metricH: tel.Handler(),
+		traceH:  tracer.Handler(),
 	}
+	s.handler = telemetry.NewMiddleware(telemetry.MiddlewareConfig{
+		Registry: tel,
+		Tracer:   tracer,
+		Service:  "dashboard",
+		// Collapse unknown paths into one label so scraping arbitrary
+		// 404s cannot blow up metric cardinality.
+		Route: func(r *http.Request) string {
+			p := r.URL.Path
+			if p == "/" || p == "/healthz" || strings.HasPrefix(p, "/api/") {
+				return p
+			}
+			return "other"
+		},
+	})(s.mux)
 	s.mux.HandleFunc("POST /api/readings", s.handleIngest)
 	s.mux.HandleFunc("GET /api/sensors", s.handleSensors)
 	s.mux.HandleFunc("GET /api/series", s.handleSeries)
@@ -58,6 +86,12 @@ func (s *Server) Store() *Store { return s.store }
 // Audit exposes the hash-chained audit trail.
 func (s *Server) Audit() *audit.Log { return s.trail }
 
+// Telemetry exposes the dashboard's own metric registry.
+func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
+
+// Tracer exposes the dashboard's span ring buffer.
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
+
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	kind := audit.Kind(r.URL.Query().Get("kind"))
 	writeJSON(w, http.StatusOK, s.trail.Records(kind))
@@ -71,8 +105,19 @@ func (s *Server) handleAuditVerify(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "records": s.trail.Len()})
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. The observability endpoints are
+// served outside the middleware so scrapes do not count as dashboard
+// traffic.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/metrics":
+		s.metricH.ServeHTTP(w, r)
+	case "/traces":
+		s.traceH.ServeHTTP(w, r)
+	default:
+		s.handler.ServeHTTP(w, r)
+	}
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -165,8 +210,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	var buf bytes.Buffer
 	if err := s.tmpl.Execute(&buf, map[string]any{
-		"Rows":   rows,
-		"Alerts": s.store.Alerts(),
+		"Rows":    rows,
+		"Alerts":  s.store.Alerts(),
+		"Metrics": s.metricRows(),
+		"Spans":   s.tracer.Len(),
 	}); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -175,6 +222,49 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if _, err := w.Write(buf.Bytes()); err != nil {
 		return
 	}
+}
+
+// metricRow is one line of the HTML telemetry snapshot.
+type metricRow struct {
+	Name   string
+	Labels string
+	Value  string
+}
+
+// metricRows flattens the registry snapshot for the HTML view: counters
+// and gauges verbatim, histograms as count/mean/p50/p95/p99.
+func (s *Server) metricRows() []metricRow {
+	var rows []metricRow
+	for _, fam := range s.tel.Gather() {
+		for _, se := range fam.Series {
+			var parts []string
+			for _, l := range se.Labels {
+				parts = append(parts, l.Name+"="+l.Value)
+			}
+			labels := strings.Join(parts, ", ")
+			switch fam.Type {
+			case telemetry.TypeHistogram:
+				mean := 0.0
+				if se.Count > 0 {
+					mean = se.Sum / float64(se.Count)
+				}
+				rows = append(rows, metricRow{
+					Name:   fam.Name,
+					Labels: labels,
+					Value: fmt.Sprintf("n=%d mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms",
+						se.Count, mean*1e3, se.Quantile(0.5)*1e3,
+						se.Quantile(0.95)*1e3, se.Quantile(0.99)*1e3),
+				})
+			default:
+				rows = append(rows, metricRow{
+					Name:   fam.Name,
+					Labels: labels,
+					Value:  strconv.FormatFloat(se.Value, 'g', 6, 64),
+				})
+			}
+		}
+	}
+	return rows
 }
 
 const indexHTML = `<!DOCTYPE html>
@@ -198,6 +288,15 @@ h1{font-size:1.4rem}
 {{end}}
 </table>
 <p>{{len .Alerts}} alert(s) recorded.</p>
+<h2>Telemetry snapshot</h2>
+<p>Live metrics of this dashboard process ({{.Spans}} span(s) retained;
+full exposition at <a href="/metrics">/metrics</a>, traces at
+<a href="/traces">/traces</a>).</p>
+<table>
+<tr><th>Metric</th><th>Labels</th><th>Value</th></tr>
+{{range .Metrics}}<tr><td>{{.Name}}</td><td>{{.Labels}}</td><td>{{.Value}}</td></tr>
+{{end}}
+</table>
 </body></html>`
 
 // Client publishes sensor readings to a dashboard over HTTP; it implements

@@ -18,6 +18,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Balancing selects the load-balancing policy of a route.
@@ -53,6 +55,14 @@ type Config struct {
 	CacheTTL time.Duration
 	// CacheMaxEntries bounds the cache (default 1024).
 	CacheMaxEntries int
+	// Telemetry is the metric registry the gateway records into; a
+	// private registry (with runtime metrics) is created when nil. The
+	// registry is exposed at /metrics, which bypasses auth and rate
+	// limiting so scrapers need no API key.
+	Telemetry *telemetry.Registry
+	// Tracer records one span per proxied request; a private 1024-span
+	// tracer is created when nil. Served as JSON at /traces.
+	Tracer *telemetry.Tracer
 }
 
 // upstream is one backend instance of a route.
@@ -82,17 +92,20 @@ func (u *upstream) available(now time.Time, threshold int32) bool {
 	return true
 }
 
-// route maps a path prefix onto a backend pool.
+// route maps a path prefix onto a backend pool. Per-route statistics
+// live in the telemetry registry (handles below), so /gateway/metrics,
+// RouteMetrics, and the Prometheus /metrics exposition all read the same
+// counters instead of keeping parallel private copies.
 type route struct {
 	prefix    string
 	policy    Balancing
 	upstreams []*upstream
 	rr        atomic.Uint64
 
-	// metrics
-	requests  atomic.Int64
-	errors    atomic.Int64
-	totalNano atomic.Int64
+	// telemetry handles, resolved once at AddRoute.
+	requests *telemetry.Counter
+	errors   *telemetry.Counter
+	latency  *telemetry.Histogram
 }
 
 // Gateway is the HTTP entry point. Create with New, register routes with
@@ -107,10 +120,20 @@ type Gateway struct {
 	limiter *rateLimiter
 	keys    map[string]struct{}
 
-	cacheMu   sync.Mutex
-	cache     *responseCache
-	cacheHits atomic.Int64
-	cacheMiss atomic.Int64
+	tel     *telemetry.Registry
+	tracer  *telemetry.Tracer
+	metricH http.Handler
+	traceH  http.Handler
+	// telemetry family handles shared across routes.
+	reqVec    *telemetry.CounterVec
+	errVec    *telemetry.CounterVec
+	latVec    *telemetry.HistogramVec
+	inFlight  *telemetry.Gauge
+	cacheHits *telemetry.Counter
+	cacheMiss *telemetry.Counter
+
+	cacheMu sync.Mutex
+	cache   *responseCache
 
 	started  atomic.Bool
 	stopOnce sync.Once
@@ -129,8 +152,33 @@ func New(cfg Config) *Gateway {
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = 5 * time.Second
 	}
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
+	telemetry.RegisterRuntimeMetrics(tel)
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = telemetry.NewTracer(1024)
+	}
 	g := &Gateway{
-		cfg:  cfg,
+		cfg:     cfg,
+		tel:     tel,
+		tracer:  tracer,
+		metricH: tel.Handler(),
+		traceH:  tracer.Handler(),
+		reqVec: tel.Counter("spatial_gateway_requests_total",
+			"Requests handled by the gateway, per route.", "route"),
+		errVec: tel.Counter("spatial_gateway_errors_total",
+			"Requests that ended in a 5xx, per route.", "route"),
+		latVec: tel.Histogram("spatial_gateway_request_duration_seconds",
+			"Gateway request latency in seconds, per route.", nil, "route"),
+		inFlight: tel.Gauge("spatial_gateway_in_flight_requests",
+			"Requests currently traversing the gateway.").With(),
+		cacheHits: tel.Counter("spatial_gateway_cache_hits_total",
+			"Responses served from the gateway response cache.").With(),
+		cacheMiss: tel.Counter("spatial_gateway_cache_misses_total",
+			"Cacheable requests that missed the response cache.").With(),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
@@ -169,7 +217,14 @@ func (g *Gateway) AddRoute(prefix string, policy Balancing, backends ...string) 
 	if policy != RoundRobin && policy != LeastConnections {
 		return fmt.Errorf("gateway: unknown balancing policy %d", policy)
 	}
-	rt := &route{prefix: strings.TrimSuffix(prefix, "/"), policy: policy}
+	cleanPrefix := strings.TrimSuffix(prefix, "/")
+	rt := &route{
+		prefix:   cleanPrefix,
+		policy:   policy,
+		requests: g.reqVec.With(cleanPrefix),
+		errors:   g.errVec.With(cleanPrefix),
+		latency:  g.latVec.With(cleanPrefix),
+	}
 	for _, b := range backends {
 		target, err := url.Parse(b)
 		if err != nil {
@@ -181,6 +236,13 @@ func (g *Gateway) AddRoute(prefix string, policy Balancing, backends ...string) 
 		u := &upstream{target: target}
 		u.healthy.Store(true) // optimistic until the first health check
 		proxy := httputil.NewSingleHostReverseProxy(target)
+		proxy.ModifyResponse = func(resp *http.Response) error {
+			// The gateway already stamped X-Trace-Id on the client
+			// response; drop the upstream's echo so the header is
+			// not duplicated.
+			resp.Header.Del(telemetry.HeaderTraceID)
+			return nil
+		}
 		proxy.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
 			g.onUpstreamFailure(u)
 			http.Error(w, fmt.Sprintf("upstream error: %v", err), http.StatusBadGateway)
@@ -251,6 +313,8 @@ func (g *Gateway) pick(rt *route) *upstream {
 
 // ServeHTTP implements http.Handler.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Observability endpoints answer before auth and rate limiting so
+	// scrapers and operators need no API key and are never shed.
 	switch r.URL.Path {
 	case "/gateway/healthz":
 		w.Header().Set("Content-Type", "application/json")
@@ -258,6 +322,12 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	case "/gateway/metrics":
 		g.serveMetrics(w)
+		return
+	case "/metrics":
+		g.metricH.ServeHTTP(w, r)
+		return
+	case "/traces":
+		g.traceH.ServeHTTP(w, r)
 		return
 	}
 
@@ -283,12 +353,47 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Trace propagation: adopt the caller's trace (or mint one), then
+	// hand our fresh span to the upstream as its parent so the gateway
+	// hop and the service hop correlate under one trace ID.
+	start := time.Now()
+	traceID, parentID := telemetry.Extract(r.Header)
+	if traceID == "" {
+		traceID = telemetry.NewTraceID()
+	}
+	spanID := telemetry.NewSpanID()
+	w.Header().Set(telemetry.HeaderTraceID, traceID)
+	finish := func(status int, cached bool) {
+		elapsed := time.Since(start)
+		rt.requests.Inc()
+		rt.latency.Observe(elapsed.Seconds())
+		if status >= 500 {
+			rt.errors.Inc()
+		}
+		name := "proxy " + rt.prefix
+		if cached {
+			name = "cache " + rt.prefix
+		}
+		g.tracer.Record(telemetry.Span{
+			TraceID:  traceID,
+			SpanID:   spanID,
+			ParentID: parentID,
+			Service:  "gateway",
+			Name:     name,
+			Start:    start,
+			Duration: float64(elapsed.Nanoseconds()) / 1e6,
+			Status:   status,
+		})
+	}
+
 	// Strip the route prefix.
-	r2 := r.Clone(r.Context())
+	r2 := r.Clone(telemetry.ContextWithTrace(r.Context(), traceID, spanID))
 	r2.URL.Path = strings.TrimPrefix(r.URL.Path, rt.prefix)
 	if r2.URL.Path == "" {
 		r2.URL.Path = "/"
 	}
+	r2.Header.Set(telemetry.HeaderTraceID, traceID)
+	r2.Header.Set(telemetry.HeaderSpanID, spanID)
 
 	// Response cache: answer byte-identical requests within the TTL
 	// without touching the upstream.
@@ -307,8 +412,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		entry, hit := g.cache.get(key)
 		g.cacheMu.Unlock()
 		if hit {
-			g.cacheHits.Add(1)
-			rt.requests.Add(1)
+			g.cacheHits.Inc()
 			if entry.contentType != "" {
 				w.Header().Set("Content-Type", entry.contentType)
 			}
@@ -317,12 +421,13 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			if _, err := w.Write(entry.body); err != nil {
 				return
 			}
+			finish(entry.status, true)
 			return
 		}
-		g.cacheMiss.Add(1)
+		g.cacheMiss.Inc()
 	}
 
-	start := time.Now()
+	g.inFlight.Inc()
 	u.conns.Add(1)
 	var rec interface {
 		http.ResponseWriter
@@ -351,20 +456,25 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	u.proxy.ServeHTTP(rec, r2)
 	u.conns.Add(-1)
+	g.inFlight.Dec()
 
-	rt.requests.Add(1)
-	rt.totalNano.Add(time.Since(start).Nanoseconds())
-	if *status >= 500 {
-		rt.errors.Add(1)
-	} else {
+	finish(*status, false)
+	if *status < 500 {
 		u.fails.Store(0)
 	}
 }
 
 // CacheStats reports (hits, misses) of the response cache.
 func (g *Gateway) CacheStats() (hits, misses int64) {
-	return g.cacheHits.Load(), g.cacheMiss.Load()
+	return int64(g.cacheHits.Value()), int64(g.cacheMiss.Value())
 }
+
+// Telemetry exposes the gateway's metric registry (for sharing with other
+// components in the same process or scraping programmatically).
+func (g *Gateway) Telemetry() *telemetry.Registry { return g.tel }
+
+// Tracer exposes the gateway's span ring buffer.
+func (g *Gateway) Tracer() *telemetry.Tracer { return g.tracer }
 
 type statusRecorder struct {
 	http.ResponseWriter
@@ -400,7 +510,8 @@ type UpstreamStatus struct {
 	InFlight    int64  `json:"inFlight"`
 }
 
-// RouteMetrics snapshots per-route statistics.
+// RouteMetrics snapshots per-route statistics from the telemetry
+// registry.
 func (g *Gateway) RouteMetrics() []RouteMetric {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
@@ -409,11 +520,11 @@ func (g *Gateway) RouteMetrics() []RouteMetric {
 	for _, rt := range g.routes {
 		m := RouteMetric{
 			Prefix:   rt.prefix,
-			Requests: rt.requests.Load(),
-			Errors:   rt.errors.Load(),
+			Requests: int64(rt.requests.Value()),
+			Errors:   int64(rt.errors.Value()),
 		}
-		if m.Requests > 0 {
-			m.MeanLatencyMs = float64(rt.totalNano.Load()) / float64(m.Requests) / 1e6
+		if n := rt.latency.Count(); n > 0 {
+			m.MeanLatencyMs = rt.latency.Sum() / float64(n) * 1e3
 		}
 		for _, u := range rt.upstreams {
 			m.Upstreams = append(m.Upstreams, UpstreamStatus{

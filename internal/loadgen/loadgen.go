@@ -16,6 +16,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Sampler issues one request and reports success.
@@ -62,6 +64,9 @@ func (s *HTTPSampler) Sample(ctx context.Context) error {
 			req.Header.Add(k, v)
 		}
 	}
+	// Propagate the trace ID Run stamped on the context so client-side
+	// latencies can be joined against server-side spans.
+	telemetry.Inject(ctx, req.Header)
 	resp, err := client.Do(req)
 	if err != nil {
 		return err
@@ -98,6 +103,9 @@ type Sample struct {
 	Err           error
 	ActiveThreads int
 	Thread        int
+	// TraceID is the X-Trace-Id stamped on the request, joining this
+	// client-side sample with the server-side spans at /traces.
+	TraceID string
 }
 
 // Results collects samples from one run.
@@ -152,8 +160,13 @@ func Run(ctx context.Context, group ThreadGroup, sampler Sampler) (*Results, err
 				if !deadline.IsZero() && time.Now().After(deadline) {
 					return
 				}
-				s := Sample{Start: time.Now(), ActiveThreads: int(active.Load()), Thread: th}
-				s.Err = sampler.Sample(ctx)
+				s := Sample{
+					Start:         time.Now(),
+					ActiveThreads: int(active.Load()),
+					Thread:        th,
+					TraceID:       telemetry.NewTraceID(),
+				}
+				s.Err = sampler.Sample(telemetry.ContextWithTrace(ctx, s.TraceID, ""))
 				s.Latency = time.Since(s.Start)
 				mu.Lock()
 				samples = append(samples, s)
@@ -180,6 +193,17 @@ type Summary struct {
 	P95        time.Duration `json:"p95Ns"`
 	P99        time.Duration `json:"p99Ns"`
 	Throughput float64       `json:"throughputRps"`
+	// SlowestTraces samples the trace IDs of the worst-latency requests
+	// (up to 5) so tail latencies can be looked up in the server-side
+	// span buffers (/traces?trace=<id>) of the gateway and services.
+	SlowestTraces []TraceSample `json:"slowestTraces,omitempty"`
+}
+
+// TraceSample pairs a stamped trace ID with its client-observed latency.
+type TraceSample struct {
+	TraceID string        `json:"traceId"`
+	Latency time.Duration `json:"latencyNs"`
+	Err     bool          `json:"err,omitempty"`
 }
 
 // Summarize computes the summary report.
@@ -214,7 +238,28 @@ func (r *Results) Summarize() Summary {
 	if r.Wall > 0 {
 		s.Throughput = float64(s.Count) / r.Wall.Seconds()
 	}
+	s.SlowestTraces = r.slowestTraces(5)
 	return s
+}
+
+// slowestTraces returns the trace IDs of the n worst-latency samples,
+// slowest first, skipping samples without a stamped trace.
+func (r *Results) slowestTraces(n int) []TraceSample {
+	traced := make([]Sample, 0, len(r.Samples))
+	for _, s := range r.Samples {
+		if s.TraceID != "" {
+			traced = append(traced, s)
+		}
+	}
+	sort.Slice(traced, func(i, j int) bool { return traced[i].Latency > traced[j].Latency })
+	if len(traced) > n {
+		traced = traced[:n]
+	}
+	out := make([]TraceSample, 0, len(traced))
+	for _, s := range traced {
+		out = append(out, TraceSample{TraceID: s.TraceID, Latency: s.Latency, Err: s.Err != nil})
+	}
+	return out
 }
 
 func percentile(sorted []time.Duration, q float64) time.Duration {

@@ -15,6 +15,8 @@ import (
 	"log"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Property names the trustworthy property a sensor gauges.
@@ -110,6 +112,17 @@ func (s *Sensor) validate() error {
 	return nil
 }
 
+// managerMetrics are the telemetry handles a Manager records into once
+// UseTelemetry is called.
+type managerMetrics struct {
+	collects      *telemetry.CounterVec
+	collectErrors *telemetry.CounterVec
+	publishErrors *telemetry.CounterVec
+	alerts        *telemetry.CounterVec
+	duration      *telemetry.HistogramVec
+	lastValue     *telemetry.GaugeVec
+}
+
 // Manager owns a set of sensors and their sampling goroutines.
 type Manager struct {
 	sink Sink
@@ -118,6 +131,7 @@ type Manager struct {
 	sensors map[string]*Sensor
 	last    map[string]Reading
 	errs    map[string]int
+	tel     *managerMetrics
 
 	running bool
 	cancel  context.CancelFunc
@@ -133,6 +147,37 @@ func NewManager(sink Sink) *Manager {
 		last:    make(map[string]Reading),
 		errs:    make(map[string]int),
 	}
+}
+
+// UseTelemetry makes the manager record per-sensor collection metrics
+// (attempts, failures, durations, alerts, publish failures, and the last
+// measured value) into the registry. Call before Start.
+func (m *Manager) UseTelemetry(reg *telemetry.Registry) {
+	tel := &managerMetrics{
+		collects: reg.Counter("spatial_sensor_collects_total",
+			"Sensor collection attempts.", "sensor"),
+		collectErrors: reg.Counter("spatial_sensor_collect_errors_total",
+			"Sensor collections that failed.", "sensor"),
+		publishErrors: reg.Counter("spatial_sensor_publish_errors_total",
+			"Readings that could not be published to the sink.", "sensor"),
+		alerts: reg.Counter("spatial_sensor_alerts_total",
+			"Readings that crossed an alert threshold.", "sensor"),
+		duration: reg.Histogram("spatial_sensor_collect_duration_seconds",
+			"Wall-clock duration of one sensor collection.", nil, "sensor"),
+		lastValue: reg.Gauge("spatial_sensor_last_value",
+			"Most recent measured value, per sensor.", "sensor"),
+	}
+	m.mu.Lock()
+	m.tel = tel
+	m.mu.Unlock()
+}
+
+// telemetry returns the metric handles, or nil when UseTelemetry was
+// never called.
+func (m *Manager) telemetry() *managerMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tel
 }
 
 // Register adds a sensor. It fails if the manager is running or the name
@@ -234,6 +279,9 @@ func (m *Manager) collect(ctx context.Context, s *Sensor) {
 		if err := m.sink.Publish(ctx, r); err != nil && ctx.Err() == nil {
 			// Publishing failures must not kill monitoring; the
 			// reading stays available via Last.
+			if tel := m.telemetry(); tel != nil {
+				tel.publishErrors.With(s.Name).Inc()
+			}
 			log.Printf("sensor %q: publish: %v", s.Name, err)
 		}
 	}
@@ -248,9 +296,21 @@ func (m *Manager) CollectOnce(ctx context.Context, name string) (Reading, error)
 	if !ok {
 		return Reading{}, fmt.Errorf("sensor: unknown sensor %q", name)
 	}
+	tel := m.telemetry()
+	start := time.Now()
 	value, detail, err := s.Collector.Collect(ctx)
+	if tel != nil {
+		tel.collects.With(s.Name).Inc()
+		tel.duration.With(s.Name).Observe(time.Since(start).Seconds())
+	}
 	if err != nil {
+		if tel != nil {
+			tel.collectErrors.With(s.Name).Inc()
+		}
 		return Reading{}, fmt.Errorf("collect %q: %w", name, err)
+	}
+	if tel != nil {
+		tel.lastValue.With(s.Name).Set(value)
 	}
 	r := Reading{
 		Sensor:   s.Name,
@@ -262,6 +322,9 @@ func (m *Manager) CollectOnce(ctx context.Context, name string) (Reading, error)
 	if msg := s.Threshold.check(value); msg != "" {
 		r.Alert = true
 		r.AlertMsg = msg
+		if tel != nil {
+			tel.alerts.With(s.Name).Inc()
+		}
 	}
 	m.mu.Lock()
 	m.last[name] = r

@@ -11,10 +11,11 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"sync"
+	"strings"
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/telemetry"
 )
 
 // TableJSON is the wire form of a labelled dataset.
@@ -85,65 +86,98 @@ type Health struct {
 	UptimeS int64  `json:"uptimeS"`
 }
 
-// Stats tracks simple request statistics for a service, mirroring what the
+// Stats is a read-only view over a service's telemetry registry,
+// aggregating the per-route middleware metrics into the totals the
 // paper's capacity experiments read off the deployment.
 type Stats struct {
-	mu        sync.Mutex
-	requests  int64
-	errors    int64
-	totalTime time.Duration
+	reg *telemetry.Registry
 }
 
-func (s *Stats) record(d time.Duration, failed bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.requests++
-	s.totalTime += d
-	if failed {
-		s.errors++
+// statsSkipRoutes are infrastructure routes excluded from the Stats
+// aggregate — liveness polls and stats scrapes are not service load.
+var statsSkipRoutes = map[string]bool{"/healthz": true, "/stats": true}
+
+func statsSkip(labels []telemetry.Label) bool {
+	for _, l := range labels {
+		if l.Name == "route" && statsSkipRoutes[l.Value] {
+			return true
+		}
 	}
+	return false
 }
 
-// Snapshot returns (requests, errors, mean latency).
+// Snapshot returns (requests, errors, mean latency) summed across every
+// instrumented application route (infrastructure routes like /healthz are
+// excluded). Errors count 4xx and 5xx responses.
 func (s *Stats) Snapshot() (requests, errors int64, meanLatency time.Duration) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.requests > 0 {
-		meanLatency = s.totalTime / time.Duration(s.requests)
+	if s.reg == nil {
+		return 0, 0, 0
 	}
-	return s.requests, s.errors, meanLatency
+	var sum float64
+	var count uint64
+	for _, fam := range s.reg.Gather() {
+		switch fam.Name {
+		case telemetry.FamRequests:
+			for _, se := range fam.Series {
+				if statsSkip(se.Labels) {
+					continue
+				}
+				requests += int64(se.Value)
+				for _, l := range se.Labels {
+					if l.Name == "code" && (l.Value == "4xx" || l.Value == "5xx") {
+						errors += int64(se.Value)
+					}
+				}
+			}
+		case telemetry.FamLatency:
+			for _, se := range fam.Series {
+				if statsSkip(se.Labels) {
+					continue
+				}
+				sum += se.Sum
+				count += se.Count
+			}
+		}
+	}
+	if count > 0 {
+		meanLatency = time.Duration(sum / float64(count) * float64(time.Second))
+	}
+	return requests, errors, meanLatency
 }
 
-// statusRecorder captures the response status for stats middleware.
-type statusRecorder struct {
-	http.ResponseWriter
-	status int
-}
-
-func (r *statusRecorder) WriteHeader(code int) {
-	r.status = code
-	r.ResponseWriter.WriteHeader(code)
-}
-
-// newBase builds the shared mux for a service: /healthz, /stats, and stats
-// middleware around every registered handler.
+// base builds the shared surface of a service: /healthz, /stats, the
+// Prometheus exposition at /metrics, span JSON at /traces, and telemetry
+// middleware (metrics + trace propagation) around every handler
+// registered via handle.
 type base struct {
 	name    string
 	mux     *http.ServeMux
 	stats   Stats
 	started time.Time
+	tel     *telemetry.Registry
+	tracer  *telemetry.Tracer
 }
 
 func newBase(name string) *base {
-	b := &base{name: name, mux: http.NewServeMux(), started: time.Now()}
-	b.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	tel := telemetry.NewRegistry()
+	telemetry.RegisterRuntimeMetrics(tel)
+	tracer := telemetry.NewTracer(512)
+	b := &base{
+		name:    name,
+		mux:     http.NewServeMux(),
+		stats:   Stats{reg: tel},
+		started: time.Now(),
+		tel:     tel,
+		tracer:  tracer,
+	}
+	b.handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, Health{
 			Service: b.name,
 			Status:  "ok",
 			UptimeS: int64(time.Since(b.started).Seconds()),
 		})
 	})
-	b.mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+	b.handle("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		req, errs, mean := b.stats.Snapshot()
 		writeJSON(w, http.StatusOK, map[string]any{
 			"service":       b.name,
@@ -152,18 +186,33 @@ func newBase(name string) *base {
 			"meanLatencyMs": float64(mean.Microseconds()) / 1e3,
 		})
 	})
+	b.mux.Handle("GET /metrics", tel.Handler())
+	b.mux.Handle("GET /traces", tracer.Handler())
 	return b
 }
 
-// handle registers a handler with stats tracking.
+// handle registers a handler wrapped in the telemetry middleware. The
+// route label is the pattern's path (method stripped) so label
+// cardinality stays bounded by the registered routes.
 func (b *base) handle(pattern string, h http.HandlerFunc) {
-	b.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		start := time.Now()
-		h(rec, r)
-		b.stats.record(time.Since(start), rec.status >= 400)
+	routeLabel := pattern
+	if _, path, ok := strings.Cut(pattern, " "); ok {
+		routeLabel = path
+	}
+	mw := telemetry.NewMiddleware(telemetry.MiddlewareConfig{
+		Registry: b.tel,
+		Tracer:   b.tracer,
+		Service:  b.name,
+		Route:    func(*http.Request) string { return routeLabel },
 	})
+	b.mux.Handle(pattern, mw(h))
 }
+
+// Telemetry exposes the service's metric registry.
+func (b *base) Telemetry() *telemetry.Registry { return b.tel }
+
+// Tracer exposes the service's span ring buffer.
+func (b *base) Tracer() *telemetry.Tracer { return b.tracer }
 
 // ServeHTTP implements http.Handler.
 func (b *base) ServeHTTP(w http.ResponseWriter, r *http.Request) { b.mux.ServeHTTP(w, r) }

@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// quantiles rendered for every histogram family in the exposition.
+var exposedQuantiles = []float64{0.5, 0.95, 0.99}
+
+// Handler serves the registry in the Prometheus text exposition format
+// (version 0.0.4). Histograms render cumulative buckets, _sum and _count,
+// plus a sibling <name>_quantile gauge family carrying the estimated
+// p50/p95/p99.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+// WriteText renders the exposition into w.
+func (r *Registry) WriteText(w io.Writer) {
+	var b strings.Builder
+	for _, fam := range r.Gather() {
+		writeFamily(&b, fam)
+	}
+	io.WriteString(w, b.String())
+}
+
+func writeFamily(b *strings.Builder, fam Family) {
+	writeHeader(b, fam.Name, fam.Help, fam.Type.String())
+	for _, se := range fam.Series {
+		switch fam.Type {
+		case TypeHistogram:
+			writeHistogramSeries(b, fam, se)
+		default:
+			b.WriteString(fam.Name)
+			writeLabels(b, se.Labels)
+			b.WriteByte(' ')
+			b.WriteString(fmtFloat(se.Value))
+			b.WriteByte('\n')
+		}
+	}
+	if fam.Type == TypeHistogram && len(fam.Series) > 0 {
+		writeHeader(b, fam.Name+"_quantile", "Estimated quantiles of "+fam.Name+".", "gauge")
+		for _, se := range fam.Series {
+			for _, q := range exposedQuantiles {
+				b.WriteString(fam.Name + "_quantile")
+				writeLabels(b, append(append([]Label(nil), se.Labels...),
+					Label{Name: "quantile", Value: fmtFloat(q)}))
+				b.WriteByte(' ')
+				b.WriteString(fmtFloat(se.Quantile(q)))
+				b.WriteByte('\n')
+			}
+		}
+	}
+}
+
+func writeHeader(b *strings.Builder, name, help, typ string) {
+	if help != "" {
+		b.WriteString("# HELP " + name + " " + escapeHelp(help) + "\n")
+	}
+	b.WriteString("# TYPE " + name + " " + typ + "\n")
+}
+
+func writeHistogramSeries(b *strings.Builder, fam Family, se Series) {
+	var cum uint64
+	for i, bound := range fam.Buckets {
+		if i < len(se.BucketCounts) {
+			cum += se.BucketCounts[i]
+		}
+		b.WriteString(fam.Name + "_bucket")
+		writeLabels(b, append(append([]Label(nil), se.Labels...),
+			Label{Name: "le", Value: fmtFloat(bound)}))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(cum, 10))
+		b.WriteByte('\n')
+	}
+	b.WriteString(fam.Name + "_bucket")
+	writeLabels(b, append(append([]Label(nil), se.Labels...),
+		Label{Name: "le", Value: "+Inf"}))
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(se.Count, 10))
+	b.WriteByte('\n')
+	b.WriteString(fam.Name + "_sum")
+	writeLabels(b, se.Labels)
+	b.WriteByte(' ')
+	b.WriteString(fmtFloat(se.Sum))
+	b.WriteByte('\n')
+	b.WriteString(fam.Name + "_count")
+	writeLabels(b, se.Labels)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(se.Count, 10))
+	b.WriteByte('\n')
+}
+
+func writeLabels(b *strings.Builder, labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name + `="` + escapeLabel(l.Value) + `"`)
+	}
+	b.WriteByte('}')
+}
+
+// fmtFloat renders metric values: integral values without an exponent,
+// everything else in Go's shortest repr.
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

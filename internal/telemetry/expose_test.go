@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact Prometheus text format for a fixed
+// registry: counter, gauge, and a histogram with cumulative buckets, sum,
+// count, and the estimated-quantile sibling family.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo_requests_total", "Requests served.", "route", "code").
+		With("/shap", "2xx").Add(3)
+	reg.Gauge("demo_in_flight", "In-flight requests.").With().Set(2)
+	h := reg.Histogram("demo_latency_seconds", "Request latency.", []float64{0.1, 0.5, 1}, "route").
+		With("/shap")
+	h.Observe(0.05) // first bucket
+	h.Observe(0.05)
+	h.Observe(0.3) // second bucket
+	h.Observe(2)   // +Inf overflow
+
+	var b strings.Builder
+	reg.WriteText(&b)
+	got := b.String()
+
+	want := `# HELP demo_in_flight In-flight requests.
+# TYPE demo_in_flight gauge
+demo_in_flight 2
+# HELP demo_latency_seconds Request latency.
+# TYPE demo_latency_seconds histogram
+demo_latency_seconds_bucket{route="/shap",le="0.1"} 2
+demo_latency_seconds_bucket{route="/shap",le="0.5"} 3
+demo_latency_seconds_bucket{route="/shap",le="1"} 3
+demo_latency_seconds_bucket{route="/shap",le="+Inf"} 4
+demo_latency_seconds_sum{route="/shap"} 2.4
+demo_latency_seconds_count{route="/shap"} 4
+# HELP demo_latency_seconds_quantile Estimated quantiles of demo_latency_seconds.
+# TYPE demo_latency_seconds_quantile gauge
+demo_latency_seconds_quantile{route="/shap",quantile="0.5"} 0.1
+demo_latency_seconds_quantile{route="/shap",quantile="0.95"} 1
+demo_latency_seconds_quantile{route="/shap",quantile="0.99"} 1
+# HELP demo_requests_total Requests served.
+# TYPE demo_requests_total counter
+demo_requests_total{route="/shap",code="2xx"} 3
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "x").With().Inc()
+	rr := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "x_total 1") {
+		t.Errorf("body missing metric: %s", rr.Body.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "e", "v").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	reg.WriteText(&b)
+	if !strings.Contains(b.String(), `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Errorf("escaping wrong: %s", b.String())
+	}
+}
+
+func TestRuntimeMetricsPresent(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	RegisterRuntimeMetrics(reg) // idempotent
+	var b strings.Builder
+	reg.WriteText(&b)
+	out := b.String()
+	for _, name := range []string{"go_goroutines", "go_heap_alloc_bytes", "go_gc_cycles_total"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("missing %s in runtime exposition", name)
+		}
+	}
+	if strings.Count(out, "# TYPE go_goroutines gauge") != 1 {
+		t.Errorf("go_goroutines registered more than once:\n%s", out)
+	}
+}

@@ -1,0 +1,355 @@
+// Package telemetry is SPATIAL's unified observability substrate: a
+// concurrency-safe metric registry (labeled counters, gauges, and
+// fixed-bucket latency histograms with quantile estimation), a
+// Prometheus-compatible text exposition handler, a Go-runtime collector,
+// and lightweight request tracing with X-Trace-Id/X-Span-Id header
+// propagation recorded into a bounded in-memory ring buffer.
+//
+// The package is stdlib-only. Every serving component (gateway, metric
+// services, sensors, dashboard) records into a Registry and exposes it at
+// /metrics; traces are served as JSON at /traces.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Type enumerates the metric kinds a Registry holds.
+type Type int
+
+// Metric kinds.
+const (
+	TypeCounter Type = iota + 1
+	TypeGauge
+	TypeHistogram
+)
+
+// String renders the Prometheus TYPE keyword.
+func (t Type) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// DefLatencyBuckets are the default request-latency histogram bounds in
+// seconds, spanning sub-millisecond cache hits to 10s capacity-test tails.
+var DefLatencyBuckets = []float64{
+	.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// Registry is a concurrency-safe collection of metric families. The zero
+// value is not usable; construct with NewRegistry.
+type Registry struct {
+	mu         sync.RWMutex
+	families   map[string]*family
+	collectors []func()
+	runtimeOn  bool
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named metric family holding all label permutations.
+type family struct {
+	name    string
+	help    string
+	typ     Type
+	labels  []string
+	buckets []float64 // histogram upper bounds, sorted, without +Inf
+
+	mu     sync.RWMutex
+	series map[string]any // label-value signature -> *Counter|*Gauge|*Histogram
+	keys   []string       // insertion-independent sorted view built at gather
+}
+
+const labelSep = "\x1f"
+
+// lookup returns (creating if needed) the family with the given shape,
+// panicking on a name reused with a different type or label set —
+// that is a programming error, not a runtime condition.
+func (r *Registry) lookup(name, help string, typ Type, buckets []float64, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || strings.Join(f.labels, labelSep) != strings.Join(labels, labelSep) {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered with a different type or labels", name))
+		}
+		return f
+	}
+	f := &family{
+		name:   name,
+		help:   help,
+		typ:    typ,
+		labels: append([]string(nil), labels...),
+		series: make(map[string]any),
+	}
+	if typ == TypeHistogram {
+		bs := append([]float64(nil), buckets...)
+		sort.Float64s(bs)
+		f.buckets = bs
+	}
+	r.families[name] = f
+	return f
+}
+
+// OnGather registers a callback run before every Gather (and therefore
+// before every scrape); runtime collectors use it to refresh gauges.
+func (r *Registry) OnGather(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// Counter registers (or fetches) a counter family.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.lookup(name, help, TypeCounter, nil, labels)}
+}
+
+// Gauge registers (or fetches) a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.lookup(name, help, TypeGauge, nil, labels)}
+}
+
+// Histogram registers (or fetches) a histogram family with the given
+// upper bucket bounds (DefLatencyBuckets when nil).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(buckets) == 0 {
+		buckets = DefLatencyBuckets
+	}
+	return &HistogramVec{f: r.lookup(name, help, TypeHistogram, buckets, labels)}
+}
+
+// sig joins label values into the series map key, panicking on arity
+// mismatch.
+func (f *family) sig(values []string) string {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %q expects %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	return strings.Join(values, labelSep)
+}
+
+// With returns the counter for the given label values, creating it on
+// first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	key := v.f.sig(values)
+	v.f.mu.RLock()
+	m, ok := v.f.series[key]
+	v.f.mu.RUnlock()
+	if ok {
+		return m.(*Counter)
+	}
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if m, ok := v.f.series[key]; ok {
+		return m.(*Counter)
+	}
+	c := &Counter{}
+	v.f.series[key] = c
+	return c
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	key := v.f.sig(values)
+	v.f.mu.RLock()
+	m, ok := v.f.series[key]
+	v.f.mu.RUnlock()
+	if ok {
+		return m.(*Gauge)
+	}
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if m, ok := v.f.series[key]; ok {
+		return m.(*Gauge)
+	}
+	g := &Gauge{}
+	v.f.series[key] = g
+	return g
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := v.f.sig(values)
+	v.f.mu.RLock()
+	m, ok := v.f.series[key]
+	v.f.mu.RUnlock()
+	if ok {
+		return m.(*Histogram)
+	}
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if m, ok := v.f.series[key]; ok {
+		return m.(*Histogram)
+	}
+	h := newHistogram(v.f.buckets)
+	v.f.series[key] = h
+	return h
+}
+
+// atomicFloat is a float64 with atomic add/store via CAS on the bit
+// pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(delta float64) {
+	for {
+		old := f.bits.Load()
+		want := math.Float64bits(math.Float64frombits(old) + delta)
+		if f.bits.CompareAndSwap(old, want) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing value.
+type Counter struct{ val atomicFloat }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.val.Add(1) }
+
+// Add adds a non-negative delta (negative deltas are ignored — counters
+// never go down).
+func (c *Counter) Add(delta float64) {
+	if delta > 0 {
+		c.val.Add(delta)
+	}
+}
+
+// Value reads the current count.
+func (c *Counter) Value() float64 { return c.val.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ val atomicFloat }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.val.Store(v) }
+
+// Add shifts the value by delta.
+func (g *Gauge) Add(delta float64) { g.val.Add(delta) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.val.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.val.Add(-1) }
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 { return g.val.Load() }
+
+// Label is one name/value pair of a series.
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Series is the snapshot of one label permutation of a family.
+type Series struct {
+	Labels []Label `json:"labels,omitempty"`
+	// Value holds the counter/gauge reading.
+	Value float64 `json:"value"`
+	// Histogram-only fields: per-bucket (non-cumulative) counts aligned
+	// with Family.Buckets plus one overflow slot, the sum of all
+	// observations, and their count.
+	BucketCounts []uint64 `json:"bucketCounts,omitempty"`
+	Sum          float64  `json:"sum,omitempty"`
+	Count        uint64   `json:"count,omitempty"`
+
+	buckets []float64
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) of a histogram series by
+// linear interpolation inside the owning bucket, the same estimate
+// Prometheus' histogram_quantile produces. Non-histogram series and empty
+// histograms return 0; observations beyond the last finite bucket clamp
+// to its upper bound.
+func (s Series) Quantile(q float64) float64 {
+	return bucketQuantile(q, s.buckets, s.BucketCounts, s.Count)
+}
+
+// Family is the snapshot of one metric family.
+type Family struct {
+	Name    string    `json:"name"`
+	Help    string    `json:"help,omitempty"`
+	Type    Type      `json:"-"`
+	Buckets []float64 `json:"buckets,omitempty"`
+	Series  []Series  `json:"series"`
+}
+
+// Gather snapshots every family, running collector callbacks first.
+// Families are sorted by name and series by label values, so output is
+// deterministic.
+func (r *Registry) Gather() []Family {
+	r.mu.RLock()
+	collectors := append([]func(){}, r.collectors...)
+	r.mu.RUnlock()
+	for _, fn := range collectors {
+		fn()
+	}
+
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]Family, 0, len(fams))
+	for _, f := range fams {
+		fam := Family{Name: f.name, Help: f.help, Type: f.typ, Buckets: f.buckets}
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			var vals []string
+			if k != "" || len(f.labels) > 0 {
+				vals = strings.Split(k, labelSep)
+			}
+			se := Series{buckets: f.buckets}
+			for i, name := range f.labels {
+				se.Labels = append(se.Labels, Label{Name: name, Value: vals[i]})
+			}
+			switch m := f.series[k].(type) {
+			case *Counter:
+				se.Value = m.Value()
+			case *Gauge:
+				se.Value = m.Value()
+			case *Histogram:
+				se.BucketCounts, se.Sum, se.Count = m.snapshot()
+			}
+			fam.Series = append(fam.Series, se)
+		}
+		f.mu.RUnlock()
+		out = append(out, fam)
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package telemetry
+
+import "runtime"
+
+// RegisterRuntimeMetrics adds the Go-runtime collector to the registry:
+// goroutine count, heap/sys bytes, GC cycles and cumulative pause time.
+// The gauges refresh on every Gather (i.e. on every scrape). Calling it
+// twice on the same registry is a no-op.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.mu.Lock()
+	if r.runtimeOn {
+		r.mu.Unlock()
+		return
+	}
+	r.runtimeOn = true
+	r.mu.Unlock()
+
+	goroutines := r.Gauge("go_goroutines", "Number of live goroutines.").With()
+	heapAlloc := r.Gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.").With()
+	heapSys := r.Gauge("go_heap_sys_bytes", "Bytes of heap obtained from the OS.").With()
+	gcCycles := r.Gauge("go_gc_cycles_total", "Completed GC cycles since process start.").With()
+	gcPause := r.Gauge("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.").With()
+	nextGC := r.Gauge("go_gc_next_target_bytes", "Heap size at which the next GC cycle triggers.").With()
+
+	r.OnGather(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapSys.Set(float64(ms.HeapSys))
+		gcCycles.Set(float64(ms.NumGC))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+		nextGC.Set(float64(ms.NextGC))
+	})
+}
