@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench fuzz experiments experiments-quick examples clean
+.PHONY: all build vet lint test test-short race bench fuzz experiments experiments-quick examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,16 +12,21 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Project-specific invariants (determinism, telemetry cardinality, context
+# propagation, ...); exits nonzero on any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/spatial-lint ./...
+
 test:
 	$(GO) test ./...
 
 test-short:
 	$(GO) test -short ./...
 
+# -short skips the slow full-module lint self-checks and long soak tests;
+# every package still runs under the race detector.
 race:
-	$(GO) test -race ./internal/telemetry/ ./internal/gateway/ ./internal/sensor/ \
-		./internal/loadgen/ ./internal/dashboard/ ./internal/service/ \
-		./internal/core/ ./internal/audit/
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

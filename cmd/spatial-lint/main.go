@@ -1,0 +1,87 @@
+// Command spatial-lint runs SPATIAL's project-specific static-analysis
+// suite (internal/lint) over the repository: determinism of the
+// fixed-seed experiment packages, telemetry label-cardinality bounds,
+// trace-context propagation across the serving tiers, float-equality
+// discipline in the numeric kernels, goroutine lifecycle hygiene, and
+// unchecked I/O errors on the server edges.
+//
+// Usage:
+//
+//	spatial-lint [-json] [-checks a,b] [-suppressed] [patterns...]
+//
+// Patterns default to "./...". Exit status is 0 when no unsuppressed
+// findings exist, 1 when findings remain, 2 on usage or load errors.
+// Suppress an individual finding inline with
+//
+//	//lint:ignore check-name reason
+//
+// on the offending line or the line above it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut    = flag.Bool("json", false, "emit findings as JSON")
+		checks     = flag.String("checks", "", "comma-separated subset of checks to run (default all)")
+		list       = flag.Bool("list", false, "list available checks and exit")
+		suppressed = flag.Bool("suppressed", false, "also print suppressed findings (with their reasons)")
+		dir        = flag.String("dir", ".", "directory patterns are resolved against")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-22s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := lint.SelectAnalyzers(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res, err := lint.Run(*dir, flag.Args(), analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	active := res.Unsuppressed()
+	if *jsonOut {
+		out := struct {
+			Findings   []lint.Finding `json:"findings"`
+			Suppressed int            `json:"suppressed"`
+			Packages   int            `json:"packages"`
+		}{active, len(res.Findings) - len(active), res.Packages}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range res.Findings {
+			if f.Suppressed {
+				if *suppressed {
+					fmt.Printf("%s (suppressed: %s)\n", f, f.SuppressReason)
+				}
+				continue
+			}
+			fmt.Println(f)
+		}
+		fmt.Fprintf(os.Stderr, "spatial-lint: %d packages, %d findings (%d suppressed)\n",
+			res.Packages, len(active), len(res.Findings)-len(active))
+	}
+	if len(active) > 0 {
+		os.Exit(1)
+	}
+}

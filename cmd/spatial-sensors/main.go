@@ -67,7 +67,9 @@ func run(args []string) error {
 		return fmt.Errorf("open test set: %w", err)
 	}
 	test, err := dataset.ReadCSV(f, "holdout", nil)
-	f.Close()
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("close test set: %w", cerr)
+	}
 	if err != nil {
 		return fmt.Errorf("parse test set: %w", err)
 	}
@@ -143,11 +145,13 @@ func run(args []string) error {
 	}
 
 	var metricsSrv *http.Server
+	metricsDone := make(chan struct{})
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("GET /metrics", reg.Handler())
 		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: mux}
 		go func() {
+			defer close(metricsDone)
 			if err := metricsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "spatial-sensors: metrics server:", err)
 			}
@@ -166,6 +170,7 @@ func run(args []string) error {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
 		_ = metricsSrv.Shutdown(shutCtx)
+		<-metricsDone
 	}
 	fmt.Println("sensors stopped")
 	return nil

@@ -1,0 +1,118 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestFakeAdvanceFiresTimersInDeadlineOrder(t *testing.T) {
+	f := NewFake(epoch)
+	a := f.After(30 * time.Millisecond)
+	b := f.After(10 * time.Millisecond)
+	c := f.After(20 * time.Millisecond)
+
+	f.Advance(time.Second)
+
+	got := []time.Time{<-b, <-c, <-a}
+	want := []time.Duration{10, 20, 30}
+	for i, ts := range got {
+		if ts.Sub(epoch) != want[i]*time.Millisecond {
+			t.Fatalf("fire %d at %v, want +%vms", i, ts.Sub(epoch), want[i])
+		}
+	}
+	if f.Now() != epoch.Add(time.Second) {
+		t.Fatalf("Now = %v, want epoch+1s", f.Now())
+	}
+}
+
+func TestFakeAfterNonPositiveFiresImmediately(t *testing.T) {
+	f := NewFake(epoch)
+	select {
+	case ts := <-f.After(0):
+		if !ts.Equal(epoch) {
+			t.Fatalf("fired at %v, want epoch", ts)
+		}
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestFakeTickerCoalescesLikeTimeTicker(t *testing.T) {
+	f := NewFake(epoch)
+	tk := f.NewTicker(10 * time.Millisecond)
+	// Five periods elapse with nobody receiving: only one tick is
+	// buffered, matching time.Ticker semantics.
+	f.Advance(50 * time.Millisecond)
+	n := 0
+	for {
+		select {
+		case <-tk.C():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Fatalf("buffered ticks = %d, want 1 (coalesced)", n)
+	}
+	tk.Stop()
+	f.Advance(100 * time.Millisecond)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker fired")
+	default:
+	}
+}
+
+func TestFakeTickerFiresEachPeriodWhenDrained(t *testing.T) {
+	f := NewFake(epoch)
+	tk := f.NewTicker(25 * time.Millisecond)
+	defer tk.Stop()
+	for i := 1; i <= 3; i++ {
+		f.Advance(25 * time.Millisecond)
+		ts := <-tk.C()
+		if want := epoch.Add(time.Duration(i) * 25 * time.Millisecond); !ts.Equal(want) {
+			t.Fatalf("tick %d at %v, want %v", i, ts, want)
+		}
+	}
+}
+
+func TestFakeBlockUntilSynchronizesWithWaiters(t *testing.T) {
+	f := NewFake(epoch)
+	var wg sync.WaitGroup
+	starts := make([]time.Time, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			starts[i] = <-f.After(time.Duration(i+1) * time.Millisecond)
+		}(i)
+	}
+	f.BlockUntil(3)
+	f.Advance(5 * time.Millisecond)
+	wg.Wait()
+	for i, ts := range starts {
+		if want := epoch.Add(time.Duration(i+1) * time.Millisecond); !ts.Equal(want) {
+			t.Fatalf("waiter %d woke at %v, want %v", i, ts, want)
+		}
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	c := Real()
+	before := c.Now()
+	if c.Since(before) < 0 {
+		t.Fatal("Since went backwards")
+	}
+	tk := c.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("real ticker never fired")
+	}
+}

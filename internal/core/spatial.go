@@ -49,6 +49,7 @@ type System struct {
 
 	mu       sync.Mutex
 	servers  []*http.Server
+	serveWG  sync.WaitGroup
 	deployed bool
 
 	gatewayURL   string
@@ -141,7 +142,9 @@ func (s *System) listenAndServeLocked(h http.Handler) (string, error) {
 	}
 	srv := &http.Server{Handler: h}
 	s.servers = append(s.servers, srv)
+	s.serveWG.Add(1)
 	go func() {
+		defer s.serveWG.Done()
 		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			// Serve exits on Shutdown; anything else is logged by the
 			// default error logger inside http.Server.
@@ -236,6 +239,9 @@ func (s *System) shutdownLocked(ctx context.Context) error {
 		}
 	}
 	s.servers = nil
+	// Serve goroutines exit once Shutdown returns; join them so no
+	// loose goroutine outlives the System.
+	s.serveWG.Wait()
 	s.deployed = false
 	return firstErr
 }

@@ -329,7 +329,7 @@ func (c *Client) Publish(ctx context.Context, r sensor.Reading) error {
 	if err != nil {
 		return fmt.Errorf("publish reading: %w", err)
 	}
-	defer resp.Body.Close()
+	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode != http.StatusAccepted {
 		return fmt.Errorf("publish reading: status %d", resp.StatusCode)
 	}

@@ -84,7 +84,7 @@ func cacheKey(method, path string, body []byte) string {
 	io.WriteString(h, "|")
 	io.WriteString(h, path)
 	io.WriteString(h, "|")
-	h.Write(body)
+	h.Write(body) //lint:ignore unchecked-err hash.Hash.Write is documented to never return an error
 	return string(h.Sum(nil))
 }
 
@@ -102,6 +102,6 @@ func (r *cacheRecorder) WriteHeader(code int) {
 }
 
 func (r *cacheRecorder) Write(p []byte) (int, error) {
-	r.buf.Write(p)
+	r.buf.Write(p) //lint:ignore unchecked-err bytes.Buffer.Write always returns a nil error
 	return r.ResponseWriter.Write(p)
 }

@@ -221,9 +221,9 @@ func (g *Gateway) AddRoute(prefix string, policy Balancing, backends ...string) 
 	rt := &route{
 		prefix:   cleanPrefix,
 		policy:   policy,
-		requests: g.reqVec.With(cleanPrefix),
-		errors:   g.errVec.With(cleanPrefix),
-		latency:  g.latVec.With(cleanPrefix),
+		requests: g.reqVec.With(cleanPrefix), //lint:ignore telemetry-cardinality route prefixes are the operator-configured -route set
+		errors:   g.errVec.With(cleanPrefix), //lint:ignore telemetry-cardinality route prefixes are the operator-configured -route set
+		latency:  g.latVec.With(cleanPrefix), //lint:ignore telemetry-cardinality route prefixes are the operator-configured -route set
 	}
 	for _, b := range backends {
 		target, err := url.Parse(b)
@@ -602,7 +602,7 @@ func (g *Gateway) checkHealth(client *http.Client) {
 			resp, err := client.Get(u.target.String() + "/healthz")
 			ok := err == nil && resp.StatusCode == http.StatusOK
 			if resp != nil {
-				resp.Body.Close()
+				_ = resp.Body.Close()
 			}
 			u.healthy.Store(ok)
 		}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AnalyzerTelemetryCardinality flags telemetry label values that are not
+// compile-time constants. Each distinct label-value tuple materializes a
+// new series in the registry forever (internal/telemetry never expires
+// series), so labeling a metric with a request path, user input, or an
+// error string turns a bounded /metrics page into an unbounded memory
+// leak and breaks every dashboard aggregation — the blow-up the
+// gateway's fixed route-prefix labels were designed to prevent. Label
+// values drawn from a provably bounded set (a config-time route table, a
+// fixed sensor registry) are suppressed at the call site with a reason.
+var AnalyzerTelemetryCardinality = &Analyzer{
+	Name: "telemetry-cardinality",
+	Doc:  "flags non-constant label values passed to telemetry CounterVec/GaugeVec/HistogramVec.With",
+	Run:  runTelemetryCardinality,
+}
+
+// telemetryPkgSuffix matches the repo's telemetry package path without
+// hard-coding the module name.
+const telemetryPkgSuffix = "internal/telemetry"
+
+func runTelemetryCardinality(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, name, ok := p.MethodCall(call)
+			if !ok || name != "With" {
+				return true
+			}
+			pkgPath, typeName := namedPath(recv)
+			if !pathHasAny(pkgPath, telemetryPkgSuffix) {
+				return true
+			}
+			switch typeName {
+			case "CounterVec", "GaugeVec", "HistogramVec":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				if p.ConstValue(arg) == nil {
+					p.Reportf(arg.Pos(), "non-constant label value for %s.With may explode metric cardinality; use a value from a bounded set (and suppress with the bound as reason) or drop the label", typeName)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzers returns the full registered suite, sorted by name.
+func Analyzers() []*Analyzer {
+	all := []*Analyzer{
+		AnalyzerCtxPropagation,
+		AnalyzerFloatEq,
+		AnalyzerGoroutineLeak,
+		AnalyzerNondeterminism,
+		AnalyzerTelemetryCardinality,
+		AnalyzerUncheckedErr,
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return all
+}
+
+// corpusMarker identifies the golden-file corpus; every analyzer runs on
+// packages under it regardless of its AppliesTo scoping, so the corpus
+// can exercise subsystem-scoped checks.
+const corpusMarker = "/lint/testdata/"
+
+// Result is the outcome of one driver run.
+type Result struct {
+	// Findings holds every diagnostic, suppressed or not, sorted by
+	// file, line, column, and check.
+	Findings []Finding
+	// Packages counts the packages analyzed.
+	Packages int
+}
+
+// Unsuppressed returns the findings not matched by an ignore directive.
+func (r *Result) Unsuppressed() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Run loads the packages matched by patterns (resolved against dir) and
+// runs the given analyzers (the full suite when nil). File paths in
+// findings are reported relative to dir when possible.
+func Run(dir string, patterns []string, analyzers []*Analyzer) (*Result, error) {
+	fullSuite := analyzers == nil
+	if fullSuite {
+		analyzers = Analyzers()
+	}
+	loader := &Loader{Dir: dir}
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Packages: len(pkgs)}
+	for _, pkg := range pkgs {
+		res.Findings = append(res.Findings, analyzePackage(loader, pkg, analyzers, fullSuite)...)
+	}
+	for i := range res.Findings {
+		if rel, err := filepath.Rel(loader.Dir, res.Findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			res.Findings[i].File = rel
+		}
+	}
+	sortFindings(res.Findings)
+	return res, nil
+}
+
+// analyzePackage runs the applicable analyzers over one package and
+// resolves suppression directives. Stale-directive detection only runs
+// with the full suite: a subset run cannot tell a stale directive from
+// one covering a disabled check.
+func analyzePackage(loader *Loader, pkg *Package, analyzers []*Analyzer, fullSuite bool) []Finding {
+	var findings []Finding
+	report := func(f Finding) { findings = append(findings, f) }
+
+	inCorpus := strings.Contains(filepath.ToSlash(pkg.Dir), corpusMarker)
+	for _, a := range analyzers {
+		if !inCorpus && a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     loader.Fset(),
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Path:     pkg.Path,
+			findings: &findings,
+		}
+		a.Run(pass)
+	}
+
+	var directives []directive
+	for _, f := range pkg.Files {
+		directives = append(directives, collectDirectives(loader.Fset(), f, report)...)
+	}
+	staleReport := report
+	if !fullSuite || inCorpus {
+		staleReport = nil
+	}
+	applyDirectives(findings, directives, staleReport)
+	return findings
+}
+
+// sortFindings orders findings for stable output.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}
+
+// SelectAnalyzers filters the suite down to the named checks.
+func SelectAnalyzers(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return nil, nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range Analyzers() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown check %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// AnalyzerFloatEq flags == / != between floating-point operands in the
+// numeric kernels (ml, mat). After any arithmetic, two mathematically
+// equal floats rarely compare equal bit-for-bit, so such comparisons
+// make convergence checks and split selection depend on rounding and —
+// worse — on compiler fusion choices, destroying cross-machine
+// reproducibility of the paper's tables. Comparisons against an exact
+// zero constant are exempt (0 is exactly representable and the dominant
+// guard-against-division idiom); comparing exactly-stored sentinel
+// values is legitimate but must be suppressed with a reason.
+var AnalyzerFloatEq = &Analyzer{
+	Name: "float-eq",
+	Doc:  "flags ==/!= between floats in ml/mat (exact-zero comparisons exempt)",
+	AppliesTo: func(path string) bool {
+		return pathHasAny(path, "internal/ml", "internal/mat")
+	},
+	Run: runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.TypeOf(bin.X)) && !isFloat(p.TypeOf(bin.Y)) {
+				return true
+			}
+			if isExactZero(p, bin.X) || isExactZero(p, bin.Y) {
+				return true
+			}
+			p.Reportf(bin.Pos(), "floating-point %s comparison; use an epsilon (math.Abs(a-b) <= eps) or suppress with why exact equality holds", bin.Op)
+			return true
+		})
+	}
+}
+
+// isExactZero reports whether e is a compile-time constant equal to 0.
+func isExactZero(p *Pass, e ast.Expr) bool {
+	v := p.ConstValue(e)
+	if v == nil {
+		return false
+	}
+	return constant.Compare(v, token.EQL, constant.MakeInt64(0))
+}

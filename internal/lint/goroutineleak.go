@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerGoroutineLeak flags `go func(){...}()` literals whose body
+// shows no lifecycle signal at all: no sync.WaitGroup Done, no
+// ctx.Done()/done-channel receive, no channel send/close handing a
+// result back, no select. Under the ROADMAP's heavy-traffic goal an
+// unaccounted goroutine per request is a leak that only shows up as
+// creeping memory and lost work on shutdown; every goroutine must be
+// joinable or cancellable. Fire-and-forget goroutines that are
+// intentionally unbounded (rare) get a suppression with the reason.
+var AnalyzerGoroutineLeak = &Analyzer{
+	Name: "goroutine-leak",
+	Doc:  "flags go func literals with no WaitGroup, done-channel, context, or result-channel reference",
+	Run:  runGoroutineLeak,
+}
+
+func runGoroutineLeak(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gostmt, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gostmt.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				// `go m.run(ctx, s)` — the callee's body is checked
+				// where it is defined; only literals are analyzable
+				// here.
+				return true
+			}
+			if hasLifecycleSignal(p, lit.Body) {
+				return true
+			}
+			p.Reportf(gostmt.Pos(), "goroutine has no lifecycle signal (WaitGroup.Done, context/done-channel, or result channel); it cannot be joined or cancelled")
+			return true
+		})
+	}
+}
+
+// hasLifecycleSignal scans a goroutine body for any evidence that the
+// goroutine is tracked: a .Done(...) call (WaitGroup or context), any
+// channel operation (send, receive, close, select, range-over-channel),
+// or a reference to a sync.WaitGroup value.
+func hasLifecycleSignal(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Done" || sel.Sel.Name == "Wait") {
+				found = true
+			}
+			if ident, ok := n.Fun.(*ast.Ident); ok && ident.Name == "close" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := p.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if t := p.TypeOf(n); t != nil {
+				if pkg, name := namedPath(t); pkg == "sync" && name == "WaitGroup" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	// checks are the comma-separated analyzer names being suppressed.
+	checks []string
+	// reason is the mandatory justification.
+	reason string
+	// line is the line the comment ends on; the directive covers
+	// findings on this line and the one directly below it.
+	line int
+	file string
+	pos  token.Pos
+}
+
+// matches reports whether the directive suppresses a finding of the
+// given check on the given line.
+func (d directive) matches(check string, line int) bool {
+	if line != d.line && line != d.line+1 {
+		return false
+	}
+	for _, c := range d.checks {
+		if c == check {
+			return true
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "lint:ignore"
+
+// collectDirectives scans a file's comments for lint:ignore directives.
+// Malformed directives (no check name, or no reason) are reported as
+// findings of the synthetic "lint-directive" check so a typo cannot
+// silently disable a gate.
+func collectDirectives(fset *token.FileSet, f *ast.File, report func(Finding)) []directive {
+	var out []directive
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimPrefix(text, "/*")
+			text = strings.TrimSuffix(text, "*/")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+			pos := fset.Position(c.Pos())
+			end := fset.Position(c.End())
+			name, reason, _ := strings.Cut(rest, " ")
+			reason = strings.TrimSpace(reason)
+			if name == "" || reason == "" {
+				report(Finding{
+					Check:   "lint-directive",
+					File:    pos.Filename,
+					Line:    pos.Line,
+					Col:     pos.Column,
+					Message: "malformed lint:ignore directive: want //lint:ignore check-name reason",
+				})
+				continue
+			}
+			out = append(out, directive{
+				checks: strings.Split(name, ","),
+				reason: reason,
+				line:   end.Line,
+				file:   pos.Filename,
+				pos:    c.Pos(),
+			})
+		}
+	}
+	return out
+}
+
+// applyDirectives marks findings matched by a directive as suppressed
+// and reports directives that suppressed nothing (stale ignores rot into
+// blanket waivers otherwise). Findings and directives must belong to the
+// same file set.
+func applyDirectives(findings []Finding, directives []directive, report func(Finding)) {
+	used := make([]bool, len(directives))
+	for i := range findings {
+		f := &findings[i]
+		if f.Check == "lint-directive" {
+			continue
+		}
+		// Same-line directives take priority over line-above ones so
+		// consecutive annotated lines each consume their own directive.
+		best := -1
+		for di, d := range directives {
+			if d.file != f.File || !d.matches(f.Check, f.Line) {
+				continue
+			}
+			if d.line == f.Line {
+				best = di
+				break
+			}
+			if best == -1 {
+				best = di
+			}
+		}
+		if best >= 0 {
+			f.Suppressed = true
+			f.SuppressReason = directives[best].reason
+			used[best] = true
+		}
+	}
+	if report == nil {
+		return
+	}
+	for di, d := range directives {
+		if !used[di] {
+			// Stale ignores rot into blanket waivers; flag them so they
+			// get cleaned up. The driver only enables this when every
+			// analyzer ran (a subset run cannot tell stale from dormant).
+			report(Finding{
+				Check:   "lint-directive",
+				File:    d.file,
+				Line:    d.line,
+				Message: "lint:ignore directive suppresses nothing (stale or misplaced)",
+			})
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	// Path is the import path ("repro/internal/ml").
+	Path string
+	// Dir is the absolute directory holding the sources.
+	Dir string
+	// Files are the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types and Info carry the (tolerant) type-check results; Info maps
+	// are always non-nil, but entries may be missing for code that did
+	// not type-check.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-check diagnostics. Analysis proceeds
+	// regardless: the analyzers degrade to syntactic matching where type
+	// information is absent.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks module packages using only the standard
+// library: module-internal imports are type-checked recursively from
+// source, everything else (the standard library) is delegated to
+// go/importer's source importer.
+type Loader struct {
+	// Dir is the directory patterns are resolved against; the module
+	// root is discovered from it. Defaults to the working directory.
+	Dir string
+
+	fset    *token.FileSet
+	modPath string
+	modRoot string
+	std     types.Importer
+	// loaded caches fully processed packages by import path; loading
+	// guards against import cycles (which the compiler rejects anyway).
+	loaded  map[string]*Package
+	loading map[string]bool
+}
+
+// ModuleRoot walks upward from dir to the directory holding go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// init prepares the loader on first use.
+func (l *Loader) init() error {
+	if l.fset != nil {
+		return nil
+	}
+	dir := l.Dir
+	if dir == "" {
+		dir = "."
+	}
+	root, err := ModuleRoot(dir)
+	if err != nil {
+		return err
+	}
+	mod, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return err
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return err
+	}
+	l.Dir = abs
+	l.modRoot = root
+	l.modPath = mod
+	l.fset = token.NewFileSet()
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	l.loaded = make(map[string]*Package)
+	l.loading = make(map[string]bool)
+	return nil
+}
+
+// Fset exposes the loader's file set for rendering positions.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load resolves patterns ("./...", "./internal/ml", absolute or relative
+// directories) into parsed, type-checked packages. Directories named
+// "testdata" or starting with "." or "_" are skipped during "..."
+// expansion but honored when named directly.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	if err := l.init(); err != nil {
+		return nil, err
+	}
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil && len(pkg.Files) > 0 {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// expand turns patterns into a sorted, de-duplicated list of absolute
+// package directories.
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = l.Dir
+			}
+		}
+		if !filepath.IsAbs(pat) {
+			pat = filepath.Join(l.Dir, pat)
+		}
+		info, err := os.Stat(pat)
+		if err != nil {
+			return nil, fmt.Errorf("lint: pattern %q: %w", pat, err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q is not a directory", pat)
+		}
+		if !recursive {
+			add(pat)
+			continue
+		}
+		err = filepath.WalkDir(pat, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != pat && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			matches, _ := filepath.Glob(filepath.Join(p, "*.go"))
+			for _, m := range matches {
+				if !strings.HasSuffix(m, "_test.go") {
+					add(p)
+					break
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// importPathFor maps a directory under the module root to its import
+// path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.modRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.modRoot)
+	}
+	if rel == "." {
+		return l.modPath, nil
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// loadDir parses and type-checks the package in dir (nil when the
+// directory holds no non-test Go files).
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadPath(path, dir)
+}
+
+// loadPath is the cached package load; the importer below funnels
+// module-internal imports through it so every package is type-checked
+// exactly once per loader.
+func (l *Loader) loadPath(path, dir string) (*Package, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files}
+	if len(files) == 0 {
+		l.loaded[path] = pkg
+		return pkg, nil
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: &moduleImporter{l: l},
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Tolerant check: Check returns the (possibly incomplete) package
+	// even on error; analyzers fall back to syntax where Info is sparse.
+	tpkg, _ := conf.Check(path, l.fset, files, pkg.Info)
+	pkg.Types = tpkg
+	l.loaded[path] = pkg
+	return pkg, nil
+}
+
+// moduleImporter resolves module-internal import paths from source via
+// the loader and delegates everything else to the standard library's
+// source importer.
+type moduleImporter struct{ l *Loader }
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	l := m.l
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		dir := filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(path, l.modPath)))
+		pkg, err := l.loadPath(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("lint: no Go files in %s", dir)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}

@@ -1,0 +1,32 @@
+// Package cardinality is spatial-lint golden-corpus input for the
+// telemetry-cardinality check: non-constant label values passed to a
+// telemetry vec's With mint unbounded series.
+package cardinality
+
+import "repro/internal/telemetry"
+
+// Record labels a counter with raw caller input — the unbounded-series
+// bug the check exists to catch.
+func Record(reg *telemetry.Registry, user string) {
+	c := reg.Counter("requests_total", "Requests served.", "user")
+	c.With(user).Inc() // want "non-constant label value for CounterVec.With"
+}
+
+// RecordConstant uses a compile-time constant label value; not flagged.
+func RecordConstant(reg *telemetry.Registry) {
+	c := reg.Counter("admin_requests_total", "Admin requests served.", "user")
+	c.With("admin").Inc()
+}
+
+// RecordMixed flags only the non-constant argument.
+func RecordMixed(reg *telemetry.Registry, status string) {
+	g := reg.Gauge("state", "Current state.", "tier", "status")
+	g.With("gateway", status).Set(1) // want "non-constant label value for GaugeVec.With"
+}
+
+// RecordBounded shows the sanctioned escape: the value set is provably
+// bounded, and the suppression reason states the bound.
+func RecordBounded(reg *telemetry.Registry, sensorName string) {
+	c := reg.Counter("samples_total", "Sensor samples.", "sensor")
+	c.With(sensorName).Inc() //lint:ignore telemetry-cardinality sensor names are a fixed registration-time set
+}

@@ -1,0 +1,72 @@
+// Package ctxpropagation is spatial-lint golden-corpus input for the
+// ctx-propagation check: serving-tier HTTP calls must be able to carry
+// the X-Trace-Id span chain, which requires a context.
+package ctxpropagation
+
+import (
+	"context"
+	"io"
+	"net/http"
+)
+
+// FetchStatus performs an HTTP call but accepts no context, so the
+// trace cannot propagate.
+func FetchStatus(url string) (int, error) {
+	resp, err := http.Get(url) // want "exported FetchStatus performs an HTTP call \(http.Get\) without accepting a context.Context"
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	return resp.StatusCode, nil
+}
+
+// Probe builds a context-less request even though a context is in scope.
+func Probe(ctx context.Context, client *http.Client, url string) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil) // want "http.NewRequest builds a context-less request"
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.Body.Close()
+}
+
+// FetchStatusCtx threads a context and uses the WithContext
+// constructor; not flagged.
+func FetchStatusCtx(ctx context.Context, client *http.Client, url string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	return resp.StatusCode, nil
+}
+
+// Relay derives its context from the inbound *http.Request, which
+// satisfies the check; not flagged.
+func Relay(w http.ResponseWriter, r *http.Request) {
+	resp, err := http.Get("http://upstream.invalid/")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer func() { _ = resp.Body.Close() }()
+	w.WriteHeader(resp.StatusCode)
+}
+
+// LegacyPing demonstrates suppression: a deliberately context-free
+// health probe, waived with a reason.
+func LegacyPing(url string) error { //lint:ignore ctx-propagation liveness probe runs outside any trace
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}

@@ -1,0 +1,18 @@
+// Package directives is spatial-lint golden-corpus input for the
+// lint-directive meta-check: a malformed suppression must itself be a
+// finding, and must not suppress anything.
+package directives
+
+import "time"
+
+// BadWaiver omits the mandatory reason, so the directive is rejected
+// and the time.Now finding survives.
+func BadWaiver() time.Time {
+	//lint:ignore nondeterminism
+	return time.Now() // want "time.Now\(\) in a seed-critical package"
+}
+
+// GoodWaiver is well-formed for contrast; nothing reported.
+func GoodWaiver() time.Time {
+	return time.Now() //lint:ignore nondeterminism corpus demo of a complete directive
+}

@@ -1,0 +1,43 @@
+// Package floateq is spatial-lint golden-corpus input for the float-eq
+// check: exact ==/!= on floating-point values in ML/matrix code hides
+// rounding divergence between otherwise-equivalent runs.
+package floateq
+
+import "math"
+
+// Converged compares floats exactly; flagged.
+func Converged(prev, cur float64) bool {
+	return prev == cur // want "floating-point == comparison"
+}
+
+// Changed uses != on float32; flagged too.
+func Changed(a, b float32) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+// ConvergedEps is the sanctioned epsilon comparison; not flagged.
+func ConvergedEps(prev, cur, eps float64) bool {
+	return math.Abs(prev-cur) <= eps
+}
+
+// GuardDivide compares against the exact-zero constant, which every
+// float represents exactly; exempt, not flagged.
+func GuardDivide(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Dedup relies on exact equality of stored (not computed) values and
+// waives the check with a reason.
+func Dedup(sorted []float64) []float64 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i > 0 && v == out[len(out)-1] { //lint:ignore float-eq adjacent stored values; exact equality dedups identical entries
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}

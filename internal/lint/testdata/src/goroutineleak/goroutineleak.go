@@ -1,0 +1,66 @@
+// Package goroutineleak is spatial-lint golden-corpus input for the
+// goroutine-leak check: a `go func(){...}()` with no lifecycle signal
+// can neither be joined nor cancelled.
+package goroutineleak
+
+import (
+	"context"
+	"sync"
+)
+
+func compute() int { return 42 }
+
+// Leak launches a goroutine nothing can wait for; flagged.
+func Leak() {
+	go func() { // want "goroutine has no lifecycle signal"
+		_ = compute()
+	}()
+}
+
+// Joined signals completion through a WaitGroup; not flagged.
+func Joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = compute()
+	}()
+	wg.Wait()
+}
+
+// DoneChannel closes a done channel the caller can select on; not
+// flagged.
+func DoneChannel() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = compute()
+	}()
+	return done
+}
+
+// ResultChannel sends its result on a channel; not flagged.
+func ResultChannel() <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- compute()
+	}()
+	return out
+}
+
+// Cancellable watches a context; not flagged.
+func Cancellable(ctx context.Context) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// FireAndForget is a deliberate detached goroutine, waived with a
+// reason.
+func FireAndForget() {
+	go func() { //lint:ignore goroutine-leak corpus demo: best-effort cache warmup may outlive the caller
+		_ = compute()
+	}()
+}

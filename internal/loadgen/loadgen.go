@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/telemetry"
 )
 
@@ -71,7 +72,7 @@ func (s *HTTPSampler) Sample(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer func() { _ = resp.Body.Close() }()
 	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
 		return err
 	}
@@ -94,6 +95,11 @@ type ThreadGroup struct {
 	// Duration, when set, makes each thread sample until the deadline
 	// (measured from run start) instead of counting iterations.
 	Duration time.Duration
+	// Clock overrides the time source for ramp-up scheduling, deadline
+	// checks, and sample timestamps; clock.Real() when nil. Tests inject
+	// clock.Fake so ramp-up assertions are deterministic instead of
+	// scheduler-dependent.
+	Clock clock.Clock
 }
 
 // Sample is one recorded request.
@@ -127,13 +133,17 @@ func Run(ctx context.Context, group ThreadGroup, sampler Sampler) (*Results, err
 		return nil, errors.New("loadgen: nil sampler")
 	}
 
+	clk := group.Clock
+	if clk == nil {
+		clk = clock.Real()
+	}
 	var (
 		active  atomic.Int64
 		mu      sync.Mutex
 		samples []Sample
 		wg      sync.WaitGroup
 	)
-	start := time.Now()
+	start := clk.Now()
 	deadline := time.Time{}
 	if group.Duration > 0 {
 		deadline = start.Add(group.Duration)
@@ -146,7 +156,7 @@ func Run(ctx context.Context, group ThreadGroup, sampler Sampler) (*Results, err
 			if group.RampUp > 0 && group.Threads > 1 {
 				delay := time.Duration(int64(group.RampUp) * int64(th) / int64(group.Threads))
 				select {
-				case <-time.After(delay):
+				case <-clk.After(delay):
 				case <-ctx.Done():
 					return
 				}
@@ -157,17 +167,17 @@ func Run(ctx context.Context, group ThreadGroup, sampler Sampler) (*Results, err
 				if ctx.Err() != nil {
 					return
 				}
-				if !deadline.IsZero() && time.Now().After(deadline) {
+				if !deadline.IsZero() && clk.Now().After(deadline) {
 					return
 				}
 				s := Sample{
-					Start:         time.Now(),
+					Start:         clk.Now(),
 					ActiveThreads: int(active.Load()),
 					Thread:        th,
 					TraceID:       telemetry.NewTraceID(),
 				}
 				s.Err = sampler.Sample(telemetry.ContextWithTrace(ctx, s.TraceID, ""))
-				s.Latency = time.Since(s.Start)
+				s.Latency = clk.Since(s.Start)
 				mu.Lock()
 				samples = append(samples, s)
 				mu.Unlock()
@@ -175,7 +185,7 @@ func Run(ctx context.Context, group ThreadGroup, sampler Sampler) (*Results, err
 		}(th)
 	}
 	wg.Wait()
-	res := &Results{Samples: samples, Wall: time.Since(start)}
+	res := &Results{Samples: samples, Wall: clk.Since(start)}
 	sort.Slice(res.Samples, func(i, j int) bool { return res.Samples[i].Start.Before(res.Samples[j].Start) })
 	return res, ctx.Err()
 }

@@ -5,9 +5,12 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/clock"
 )
 
 func TestRunCompletesAllIterations(t *testing.T) {
@@ -141,30 +144,56 @@ func TestOverTimeBuckets(t *testing.T) {
 }
 
 func TestRampUpStaggersThreadStarts(t *testing.T) {
-	start := time.Now()
-	res, err := Run(context.Background(), ThreadGroup{Threads: 4, RampUp: 200 * time.Millisecond, Iterations: 1},
-		SamplerFunc(func(context.Context) error {
-			time.Sleep(5 * time.Millisecond)
-			return nil
-		}))
-	if err != nil {
-		t.Fatal(err)
+	// Driven by a fake clock so the exact JMeter-style stagger
+	// (thread i starts at i/Threads · RampUp) is asserted without
+	// real sleeps or scheduler-dependent slack.
+	epoch := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	fc := clock.NewFake(epoch)
+	sampled := make(chan struct{}, 4)
+	type outcome struct {
+		res *Results
+		err error
 	}
-	if time.Since(start) < 140*time.Millisecond {
-		t.Fatal("ramp-up did not delay later threads")
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := Run(context.Background(),
+			ThreadGroup{Threads: 4, RampUp: 200 * time.Millisecond, Iterations: 1, Clock: fc},
+			SamplerFunc(func(context.Context) error {
+				sampled <- struct{}{}
+				return nil
+			}))
+		done <- outcome{res, err}
+	}()
+
+	// Thread 0's ramp delay is zero, so it samples at the epoch; threads
+	// 1-3 park on the fake clock for 50/100/150ms.
+	<-sampled
+	fc.BlockUntil(3)
+	for i := 0; i < 3; i++ {
+		fc.Advance(50 * time.Millisecond)
+		<-sampled
 	}
-	// The last thread starts ~150ms after the first.
-	var minStart, maxStart time.Time
-	for i, s := range res.Samples {
-		if i == 0 || s.Start.Before(minStart) {
-			minStart = s.Start
+
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	starts := make([]time.Duration, 0, len(out.res.Samples))
+	for _, s := range out.res.Samples {
+		starts = append(starts, s.Start.Sub(epoch))
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	want := []time.Duration{0, 50 * time.Millisecond, 100 * time.Millisecond, 150 * time.Millisecond}
+	if len(starts) != len(want) {
+		t.Fatalf("got %d samples, want %d", len(starts), len(want))
+	}
+	for i := range want {
+		if starts[i] != want[i] {
+			t.Fatalf("thread start %d at +%v, want +%v", i, starts[i], want[i])
 		}
-		if s.Start.After(maxStart) {
-			maxStart = s.Start
-		}
 	}
-	if maxStart.Sub(minStart) < 100*time.Millisecond {
-		t.Fatalf("thread starts too close: %v", maxStart.Sub(minStart))
+	if out.res.Wall != 150*time.Millisecond {
+		t.Fatalf("wall time %v on fake timeline, want 150ms", out.res.Wall)
 	}
 }
 

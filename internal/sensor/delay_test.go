@@ -5,29 +5,30 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // TestSamplingIntervalBoundsDetectionDelay is the DESIGN.md §5 ablation:
 // a sensor can only notice a model compromise at its next sample, so the
 // detection delay is bounded by (and grows with) the sampling interval.
+// The manager runs on a fake clock, so the delay is asserted exactly on
+// a virtual timeline instead of with real sleeps and scheduler slack.
 func TestSamplingIntervalBoundsDetectionDelay(t *testing.T) {
 	// A monitored value that drops below the alert threshold at a known
 	// instant, simulating a model-swap poisoning event.
 	detectAfterCompromise := func(interval time.Duration) time.Duration {
+		fc := clock.NewFake(time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC))
 		var mu sync.Mutex
 		compromised := false
 
-		alerted := make(chan time.Time, 1)
+		published := make(chan Reading, 16)
 		sink := SinkFunc(func(_ context.Context, r Reading) error {
-			if r.Alert {
-				select {
-				case alerted <- time.Now():
-				default:
-				}
-			}
+			published <- r
 			return nil
 		})
 		m := NewManager(sink)
+		m.UseClock(fc)
 		if err := m.Register(&Sensor{
 			Name:     "acc",
 			Property: PropPerformance,
@@ -49,32 +50,40 @@ func TestSamplingIntervalBoundsDetectionDelay(t *testing.T) {
 		}
 		defer m.Stop()
 
-		// Let the sensor settle, then compromise the model.
-		time.Sleep(interval + 20*time.Millisecond)
+		// The run loop collects once at startup; that reading must be
+		// healthy. Receiving it also proves the sampling ticker is armed.
+		if r := <-published; r.Alert {
+			t.Fatalf("interval %v: healthy reading alerted", interval)
+		}
+
+		// Compromise the model at the current virtual instant, then step
+		// the clock one sampling period at a time until the alert fires.
 		mu.Lock()
 		compromised = true
-		at := time.Now()
 		mu.Unlock()
-
-		select {
-		case detected := <-alerted:
-			return detected.Sub(at)
-		case <-time.After(10 * interval * 3):
-			t.Fatalf("interval %v: compromise never detected", interval)
-			return 0
+		at := fc.Now()
+		for i := 0; i < 5; i++ {
+			fc.Advance(interval)
+			if r := <-published; r.Alert {
+				return r.Time.Sub(at)
+			}
 		}
+		t.Fatalf("interval %v: compromise never detected", interval)
+		return 0
 	}
 
 	fast := detectAfterCompromise(30 * time.Millisecond)
 	slow := detectAfterCompromise(400 * time.Millisecond)
 
-	// The fast sensor must detect within a few intervals; the slow one
-	// cannot beat its sampling period on average. Generous margins keep
-	// the test stable on a loaded single-CPU host.
-	if fast > 300*time.Millisecond {
-		t.Fatalf("30ms sensor took %v to detect", fast)
+	// On the fake timeline detection lands exactly on the first sample
+	// after the compromise: one full sampling period later.
+	if fast != 30*time.Millisecond {
+		t.Fatalf("30ms sensor detected after %v, want exactly one interval", fast)
 	}
-	if slow < fast {
+	if slow != 400*time.Millisecond {
+		t.Fatalf("400ms sensor detected after %v, want exactly one interval", slow)
+	}
+	if slow <= fast {
 		t.Fatalf("slower sampling detected faster: %v vs %v", slow, fast)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/telemetry"
 )
 
@@ -121,11 +122,47 @@ type managerMetrics struct {
 	alerts        *telemetry.CounterVec
 	duration      *telemetry.HistogramVec
 	lastValue     *telemetry.GaugeVec
+
+	mu       sync.Mutex
+	bySensor map[string]*sensorMetrics
+}
+
+// sensorMetrics are the label-bound handles for one sensor, resolved
+// once so the per-collection hot path skips the vec lookups.
+type sensorMetrics struct {
+	collects      *telemetry.Counter
+	collectErrors *telemetry.Counter
+	publishErrors *telemetry.Counter
+	alerts        *telemetry.Counter
+	duration      *telemetry.Histogram
+	lastValue     *telemetry.Gauge
+}
+
+// forSensor binds (once) the metric handles for the named sensor. The
+// "sensor" label space is bounded by configuration: Register rejects
+// duplicates and registration closes at Start.
+func (t *managerMetrics) forSensor(name string) *sensorMetrics {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sm, ok := t.bySensor[name]; ok {
+		return sm
+	}
+	sm := &sensorMetrics{
+		collects:      t.collects.With(name),      //lint:ignore telemetry-cardinality sensor names are a fixed registration-time set
+		collectErrors: t.collectErrors.With(name), //lint:ignore telemetry-cardinality sensor names are a fixed registration-time set
+		publishErrors: t.publishErrors.With(name), //lint:ignore telemetry-cardinality sensor names are a fixed registration-time set
+		alerts:        t.alerts.With(name),        //lint:ignore telemetry-cardinality sensor names are a fixed registration-time set
+		duration:      t.duration.With(name),      //lint:ignore telemetry-cardinality sensor names are a fixed registration-time set
+		lastValue:     t.lastValue.With(name),     //lint:ignore telemetry-cardinality sensor names are a fixed registration-time set
+	}
+	t.bySensor[name] = sm
+	return sm
 }
 
 // Manager owns a set of sensors and their sampling goroutines.
 type Manager struct {
-	sink Sink
+	sink  Sink
+	clock clock.Clock
 
 	mu      sync.Mutex
 	sensors map[string]*Sensor
@@ -143,9 +180,22 @@ type Manager struct {
 func NewManager(sink Sink) *Manager {
 	return &Manager{
 		sink:    sink,
+		clock:   clock.Real(),
 		sensors: make(map[string]*Sensor),
 		last:    make(map[string]Reading),
 		errs:    make(map[string]int),
+	}
+}
+
+// UseClock overrides the manager's time source (sampling tickers, reading
+// timestamps, and collection durations). Call before Start; tests inject
+// clock.Fake so detection-delay assertions run on a virtual timeline
+// instead of racing the scheduler.
+func (m *Manager) UseClock(c clock.Clock) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c != nil && !m.running {
+		m.clock = c
 	}
 }
 
@@ -166,6 +216,7 @@ func (m *Manager) UseTelemetry(reg *telemetry.Registry) {
 			"Wall-clock duration of one sensor collection.", nil, "sensor"),
 		lastValue: reg.Gauge("spatial_sensor_last_value",
 			"Most recent measured value, per sensor.", "sensor"),
+		bySensor: make(map[string]*sensorMetrics),
 	}
 	m.mu.Lock()
 	m.tel = tel
@@ -250,12 +301,12 @@ func (m *Manager) Stop() {
 
 func (m *Manager) run(ctx context.Context, s *Sensor) {
 	defer m.wg.Done()
-	ticker := time.NewTicker(s.Interval)
+	ticker := m.clock.NewTicker(s.Interval)
 	defer ticker.Stop()
 	m.collect(ctx, s)
 	for {
 		select {
-		case <-ticker.C:
+		case <-ticker.C():
 			m.collect(ctx, s)
 		case <-ctx.Done():
 			return
@@ -280,7 +331,7 @@ func (m *Manager) collect(ctx context.Context, s *Sensor) {
 			// Publishing failures must not kill monitoring; the
 			// reading stays available via Last.
 			if tel := m.telemetry(); tel != nil {
-				tel.publishErrors.With(s.Name).Inc()
+				tel.forSensor(s.Name).publishErrors.Inc()
 			}
 			log.Printf("sensor %q: publish: %v", s.Name, err)
 		}
@@ -296,34 +347,37 @@ func (m *Manager) CollectOnce(ctx context.Context, name string) (Reading, error)
 	if !ok {
 		return Reading{}, fmt.Errorf("sensor: unknown sensor %q", name)
 	}
-	tel := m.telemetry()
-	start := time.Now()
+	var sm *sensorMetrics
+	if tel := m.telemetry(); tel != nil {
+		sm = tel.forSensor(s.Name)
+	}
+	start := m.clock.Now()
 	value, detail, err := s.Collector.Collect(ctx)
-	if tel != nil {
-		tel.collects.With(s.Name).Inc()
-		tel.duration.With(s.Name).Observe(time.Since(start).Seconds())
+	if sm != nil {
+		sm.collects.Inc()
+		sm.duration.Observe(m.clock.Since(start).Seconds())
 	}
 	if err != nil {
-		if tel != nil {
-			tel.collectErrors.With(s.Name).Inc()
+		if sm != nil {
+			sm.collectErrors.Inc()
 		}
 		return Reading{}, fmt.Errorf("collect %q: %w", name, err)
 	}
-	if tel != nil {
-		tel.lastValue.With(s.Name).Set(value)
+	if sm != nil {
+		sm.lastValue.Set(value)
 	}
 	r := Reading{
 		Sensor:   s.Name,
 		Property: s.Property,
 		Value:    value,
 		Detail:   detail,
-		Time:     time.Now(),
+		Time:     m.clock.Now(),
 	}
 	if msg := s.Threshold.check(value); msg != "" {
 		r.Alert = true
 		r.AlertMsg = msg
-		if tel != nil {
-			tel.alerts.With(s.Name).Inc()
+		if sm != nil {
+			sm.alerts.Inc()
 		}
 	}
 	m.mu.Lock()

@@ -57,7 +57,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if err != nil {
 		return fmt.Errorf("%s %s: %w", method, path, err)
 	}
-	defer resp.Body.Close()
+	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode >= 400 {
 		var eb errorBody
 		if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil && eb.Error != "" {
@@ -101,7 +101,7 @@ func (c *Client) FetchModel(ctx context.Context, id string) (ml.Classifier, erro
 	if err != nil {
 		return nil, fmt.Errorf("fetch model: %w", err)
 	}
-	defer resp.Body.Close()
+	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("fetch model %q: status %d", id, resp.StatusCode)
 	}

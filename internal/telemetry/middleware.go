@@ -48,8 +48,10 @@ func NewMiddleware(cfg MiddlewareConfig) func(http.Handler) http.Handler {
 	}
 	requests := cfg.Registry.Counter(FamRequests,
 		"HTTP requests served.", "service", "route", "method", "code")
-	inFlight := cfg.Registry.Gauge(FamInFlight,
-		"HTTP requests currently being served.", "service").With(cfg.Service)
+	inFlightVec := cfg.Registry.Gauge(FamInFlight,
+		"HTTP requests currently being served.", "service")
+	//lint:ignore telemetry-cardinality service name is fixed once per process at construction
+	inFlight := inFlightVec.With(cfg.Service)
 	latency := cfg.Registry.Histogram(FamLatency,
 		"HTTP request latency in seconds.", cfg.Buckets, "service", "route")
 
@@ -75,7 +77,9 @@ func NewMiddleware(cfg MiddlewareConfig) func(http.Handler) http.Handler {
 			next.ServeHTTP(rec, r)
 
 			elapsed := time.Since(start)
-			requests.With(cfg.Service, route, r.Method, statusClass(rec.status)).Inc()
+			//lint:ignore telemetry-cardinality service is fixed per process, route comes from cfg.Route's bounded table, method and code are normalized to fixed enums
+			requests.With(cfg.Service, route, normalizeMethod(r.Method), statusClass(rec.status)).Inc()
+			//lint:ignore telemetry-cardinality service is fixed per process, route comes from cfg.Route's bounded table
 			latency.With(cfg.Service, route).Observe(elapsed.Seconds())
 			if cfg.Tracer != nil {
 				cfg.Tracer.Record(Span{
@@ -91,6 +95,20 @@ func NewMiddleware(cfg MiddlewareConfig) func(http.Handler) http.Handler {
 			}
 		})
 	}
+}
+
+// normalizeMethod clamps the method label to the standard HTTP verbs.
+// The method string is raw client input — a client sending made-up verbs
+// must not be able to mint new metric series — so anything non-standard
+// collapses to "other".
+func normalizeMethod(m string) string {
+	switch m {
+	case http.MethodGet, http.MethodHead, http.MethodPost, http.MethodPut,
+		http.MethodPatch, http.MethodDelete, http.MethodConnect,
+		http.MethodOptions, http.MethodTrace:
+		return m
+	}
+	return "other"
 }
 
 // statusClass buckets a status code into "2xx"-style classes to keep the
