@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race bench fuzz experiments experiments-quick examples clean
+.PHONY: all build vet lint test test-short race bench bench-smoke fuzz experiments experiments-quick examples clean
 
 all: build vet lint test
 
@@ -30,6 +30,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of each serving benchmark: compiles the harness, trains
+# the bench models, and proves the batched path still runs — a CI-cheap
+# guard against bit-rot in the throughput experiment.
+bench-smoke:
+	$(GO) test -bench=Serving -benchtime=1x ./internal/serving/
 
 fuzz:
 	$(GO) test -fuzz FuzzReadCSV -fuzztime 30s ./internal/dataset/

@@ -85,6 +85,7 @@ func run(args []string) error {
 	fmt.Printf("\nSummary report\n")
 	fmt.Printf("  samples     %d\n", s.Count)
 	fmt.Printf("  errors      %d (%.1f%%)\n", s.Errors, s.ErrorRate*100)
+	fmt.Printf("  shed (429)  %d\n", s.Shed)
 	fmt.Printf("  mean        %v\n", s.Mean.Round(time.Millisecond))
 	fmt.Printf("  min/max     %v / %v\n", s.Min.Round(time.Millisecond), s.Max.Round(time.Millisecond))
 	fmt.Printf("  p50/p90/p95/p99  %v / %v / %v / %v\n",

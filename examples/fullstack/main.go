@@ -79,6 +79,32 @@ func run() error {
 	}
 	fmt.Printf("trained model %s via gateway: accuracy %.1f%%\n", trained.ModelID, trained.Metrics.Accuracy*100)
 
+	// Retraining appends a new version under the "nn" algorithm alias in
+	// the serving registry; the operator promotes it, and can roll back
+	// atomically if the canary regresses.
+	retrained, err := mlc.Train(ctx, service.TrainRequest{
+		Algorithm: "nn",
+		Train:     service.FromTable(train),
+		Eval:      ptr(service.FromTable(test)),
+		Seed:      7,
+	})
+	if err != nil {
+		return err
+	}
+	promoted, err := mlc.Promote(ctx, service.PromoteRequest{Name: "nn", Version: retrained.Ref.Version})
+	if err != nil {
+		return err
+	}
+	if _, err := mlc.Predict(ctx, service.PredictRequest{ModelID: "nn", Instances: test.X[:2]}); err != nil {
+		return err
+	}
+	rolled, err := mlc.Rollback(ctx, "nn")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alias nn: promoted v%d (%s...), rolled back to v%d\n",
+		promoted.Version, promoted.ID[:18], rolled.Version)
+
 	// 3. AI sensors monitor the deployed model and publish to the
 	//    dashboard store.
 	model, err := mlc.FetchModel(ctx, trained.ModelID)
@@ -182,8 +208,8 @@ func run() error {
 		return err
 	}
 	s := res.Summarize()
-	fmt.Printf("  %d samples, mean %v, p95 %v, %.1f req/s, %.0f%% errors\n",
-		s.Count, s.Mean.Round(time.Millisecond), s.P95.Round(time.Millisecond), s.Throughput, s.ErrorRate*100)
+	fmt.Printf("  %d samples, mean %v, p95 %v, %.1f req/s, %.0f%% errors (%d shed)\n",
+		s.Count, s.Mean.Round(time.Millisecond), s.P95.Round(time.Millisecond), s.Throughput, s.ErrorRate*100, s.Shed)
 
 	// 5. What the operator sees: gateway route metrics + dashboard data.
 	fmt.Println("\ngateway route metrics:")

@@ -16,6 +16,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/pipeline"
 	"repro/internal/sensor"
+	"repro/internal/serving"
 	"repro/internal/xai"
 )
 
@@ -50,7 +51,29 @@ func run() error {
 	fmt.Printf("\ntrained %s: accuracy %.1f%%, recall %.1f%%\n",
 		state.Model.Name(), state.Metrics.Accuracy*100, state.Metrics.Recall*100)
 
-	// 2. Explain one prediction with KernelSHAP.
+	// 2. Deploy into the model-serving runtime: the registry addresses
+	//    the model as "fall@1" (or by its content id), and concurrent
+	//    predictions coalesce into micro-batches behind admission control.
+	rt := serving.New(serving.Config{})
+	defer rt.Close()
+	ref, err := rt.Registry().Register("fall", state.Model)
+	if err != nil {
+		return err
+	}
+	_, classes, err := rt.Predict(ctx, ref.String(), state.Test.X[:8])
+	if err != nil {
+		return err
+	}
+	correct := 0
+	for i, c := range classes {
+		if c == state.Test.Y[i] {
+			correct++
+		}
+	}
+	fmt.Printf("served %d instances through %s (%s...): %d/%d correct\n",
+		len(classes), ref, ref.ID[:18], correct, len(classes))
+
+	// 3. Explain one prediction with KernelSHAP.
 	shap := &xai.KernelSHAP{
 		Model:      state.Model,
 		Background: state.Train.X[:5],
@@ -68,7 +91,7 @@ func run() error {
 		fmt.Printf("  %-8s %+.4f\n", state.Test.FeatureNames[j], imp[j])
 	}
 
-	// 3. AI sensors gauge trustworthy properties continuously.
+	// 4. AI sensors gauge trustworthy properties continuously.
 	manager := sensor.NewManager(nil)
 	accuracy := state.Metrics.Accuracy
 	if err := manager.Register(&sensor.Sensor{
@@ -111,7 +134,7 @@ func run() error {
 		}
 	}
 
-	// 4. Aggregate into a trust report.
+	// 5. Aggregate into a trust report.
 	var readings []sensor.Reading
 	for _, name := range manager.Names() {
 		if r, ok := manager.Last(name); ok {

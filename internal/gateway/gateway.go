@@ -131,6 +131,7 @@ type Gateway struct {
 	inFlight  *telemetry.Gauge
 	cacheHits *telemetry.Counter
 	cacheMiss *telemetry.Counter
+	shed      *telemetry.Counter
 
 	cacheMu sync.Mutex
 	cache   *responseCache
@@ -179,6 +180,8 @@ func New(cfg Config) *Gateway {
 			"Responses served from the gateway response cache.").With(),
 		cacheMiss: tel.Counter("spatial_gateway_cache_misses_total",
 			"Cacheable requests that missed the response cache.").With(),
+		shed: tel.Counter("spatial_gateway_upstream_shed_total",
+			"Proxied requests an upstream shed with 429 (serving admission control); the Retry-After hint passes through to the client.").With(),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
@@ -369,6 +372,9 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		rt.latency.Observe(elapsed.Seconds())
 		if status >= 500 {
 			rt.errors.Inc()
+		}
+		if status == http.StatusTooManyRequests {
+			g.shed.Inc()
 		}
 		name := "proxy " + rt.prefix
 		if cached {

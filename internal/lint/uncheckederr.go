@@ -17,8 +17,8 @@ var AnalyzerUncheckedErr = &Analyzer{
 	Name: "unchecked-err",
 	Doc:  "flags discarded errors from Close, Write, and json.Encoder.Encode in the server tiers",
 	AppliesTo: func(path string) bool {
-		return pathHasAny(path, "internal/gateway", "internal/service", "internal/sensor",
-			"internal/dashboard", "internal/loadgen", "internal/telemetry", "/cmd/")
+		return pathHasAny(path, "internal/gateway", "internal/service", "internal/serving",
+			"internal/sensor", "internal/dashboard", "internal/loadgen", "internal/telemetry", "/cmd/")
 	},
 	Run: runUncheckedErr,
 }

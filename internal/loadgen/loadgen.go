@@ -32,6 +32,16 @@ type SamplerFunc func(ctx context.Context) error
 // Sample implements Sampler.
 func (f SamplerFunc) Sample(ctx context.Context) error { return f(ctx) }
 
+// StatusError reports a sample that reached the server but came back with
+// an error status. Listeners can distinguish shed load (429 from serving
+// admission control) from hard failures via errors.As.
+type StatusError struct {
+	Code int
+}
+
+// Error implements error, keeping the historical "status NNN" shape.
+func (e *StatusError) Error() string { return fmt.Sprintf("status %d", e.Code) }
+
 // HTTPSampler posts a fixed body to a URL, the typical JMeter "HTTP
 // Request" sampler.
 type HTTPSampler struct {
@@ -77,7 +87,7 @@ func (s *HTTPSampler) Sample(ctx context.Context) error {
 		return err
 	}
 	if resp.StatusCode >= 400 {
-		return fmt.Errorf("status %d", resp.StatusCode)
+		return &StatusError{Code: resp.StatusCode}
 	}
 	return nil
 }
@@ -192,9 +202,15 @@ func Run(ctx context.Context, group ThreadGroup, sampler Sampler) (*Results, err
 
 // Summary is the JMeter "Summary Report" equivalent.
 type Summary struct {
-	Count      int           `json:"count"`
-	Errors     int           `json:"errors"`
-	ErrorRate  float64       `json:"errorRate"`
+	Count  int `json:"count"`
+	Errors int `json:"errors"`
+	// Shed counts the subset of Errors that were 429 responses — load
+	// the serving runtime's admission control rejected with a back-off
+	// hint rather than queueing. A saturated-but-shedding service shows
+	// a high Shed with a flat latency profile; a collapsing one shows
+	// few Sheds and exploding percentiles.
+	Shed      int     `json:"shed"`
+	ErrorRate float64 `json:"errorRate"`
 	Mean       time.Duration `json:"meanNs"`
 	Min        time.Duration `json:"minNs"`
 	Max        time.Duration `json:"maxNs"`
@@ -228,6 +244,10 @@ func (r *Results) Summarize() Summary {
 	for _, smp := range r.Samples {
 		if smp.Err != nil {
 			s.Errors++
+			var se *StatusError
+			if errors.As(smp.Err, &se) && se.Code == http.StatusTooManyRequests {
+				s.Shed++
+			}
 		}
 		lats = append(lats, smp.Latency)
 		total += smp.Latency

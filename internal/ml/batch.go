@@ -1,0 +1,57 @@
+package ml
+
+import (
+	"repro/internal/mat"
+)
+
+// BatchPredictor is implemented by classifiers with a batch-aware
+// prediction kernel. Tree ensembles traverse tree-major (every instance
+// through one tree before moving to the next) so a tree's node slice
+// stays hot in cache across the whole batch, and accumulate directly
+// into the output rows instead of allocating a probability slice per
+// tree per instance — the amortization the serving runtime's
+// micro-batcher exists to exploit.
+type BatchPredictor interface {
+	// PredictProbaBatch returns one probability row per instance. The
+	// result rows are owned by the caller.
+	PredictProbaBatch(X [][]float64) [][]float64
+}
+
+// PredictProbaAll returns class-probability rows for every instance,
+// dispatching to the model's batch kernel when it has one and falling
+// back to the per-instance loop otherwise. It is the single prediction
+// helper shared by the ML service handler and the serving batcher.
+func PredictProbaAll(c Classifier, X [][]float64) [][]float64 {
+	if len(X) == 0 {
+		return nil
+	}
+	if bp, ok := c.(BatchPredictor); ok {
+		return bp.PredictProbaBatch(X)
+	}
+	out := make([][]float64, len(X))
+	for i, x := range X {
+		out[i] = c.PredictProba(x)
+	}
+	return out
+}
+
+// ArgmaxAll maps probability rows to argmax class labels (first index on
+// ties, matching mat.ArgMax).
+func ArgmaxAll(probs [][]float64) []int {
+	out := make([]int, len(probs))
+	for i, p := range probs {
+		out[i] = mat.ArgMax(p)
+	}
+	return out
+}
+
+// probaRows allocates n contiguous probability rows of k classes backed
+// by one flat slice, keeping a batch's output cache-dense.
+func probaRows(n, k int) [][]float64 {
+	flat := make([]float64, n*k)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = flat[i*k : (i+1)*k : (i+1)*k]
+	}
+	return rows
+}

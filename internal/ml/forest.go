@@ -31,6 +31,12 @@ type Forest struct {
 
 	Members []*Tree
 	classes int
+
+	// leafProbs caches, per member tree, the smoothed leaf distribution
+	// of every node (flattened nodeIdx*classes+c). Built lazily on the
+	// first batch prediction; Fit invalidates it.
+	leafMu    sync.Mutex
+	leafProbs [][]float64
 }
 
 var _ Classifier = (*Forest)(nil)
@@ -55,6 +61,9 @@ func (f *Forest) Fit(d *dataset.Table) error {
 	}
 	f.classes = d.NumClasses()
 	f.Members = make([]*Tree, f.Cfg.Trees)
+	f.leafMu.Lock()
+	f.leafProbs = nil // invalidate any cached leaf distributions
+	f.leafMu.Unlock()
 
 	workers := runtime.NumCPU()
 	if workers > f.Cfg.Trees {
@@ -106,6 +115,91 @@ func (f *Forest) fitOne(d *dataset.Table, ti int) error {
 	}
 	f.Members[ti] = tree
 	return nil
+}
+
+// leafDistributions returns (building on first use) the per-tree cache
+// of smoothed leaf distributions, flattened nodeIdx*classes+c. The rows
+// are computed with exactly the probaFromCounts arithmetic — identical
+// operands and operation order, so identical bits — and internal nodes
+// keep zero rows that are never read. Fit invalidates the cache.
+func (f *Forest) leafDistributions() [][]float64 {
+	f.leafMu.Lock()
+	defer f.leafMu.Unlock()
+	if f.leafProbs != nil {
+		return f.leafProbs
+	}
+	k := f.classes
+	uniform := 1 / float64(k)
+	lp := make([][]float64, len(f.Members))
+	for m, t := range f.Members {
+		probs := make([]float64, len(t.Nodes)*k)
+		for ni := range t.Nodes {
+			node := &t.Nodes[ni]
+			if node.Feature >= 0 {
+				continue
+			}
+			var total float64
+			for _, c := range node.Counts {
+				total += c
+			}
+			row := probs[ni*k : ni*k+k]
+			if total == 0 {
+				for c := 0; c < k; c++ {
+					row[c] = uniform
+				}
+				continue
+			}
+			denom := total + float64(k)*1e-9
+			for c := 0; c < k; c++ {
+				row[c] = (node.Counts[c] + 1e-9) / denom
+			}
+		}
+		lp[m] = probs
+	}
+	f.leafProbs = lp
+	return lp
+}
+
+// PredictProbaBatch implements BatchPredictor with a tree-major
+// traversal: each member tree scores the whole batch before the next is
+// touched, so its node slice stays cache-resident, and the cached leaf
+// distribution accumulates straight into the output rows instead of
+// allocating (and re-dividing) one probability slice per tree per
+// instance. The accumulation order per instance matches PredictProba
+// (member order), so results are bit-identical to the per-instance path.
+func (f *Forest) PredictProbaBatch(X [][]float64) [][]float64 {
+	if len(f.Members) == 0 {
+		panic(ErrNotTrained)
+	}
+	k := f.classes
+	out := probaRows(len(X), k)
+	leaves := f.leafDistributions()
+	for m, t := range f.Members {
+		nodes := t.Nodes
+		probs := leaves[m]
+		for i, x := range X {
+			ni := 0
+			for nodes[ni].Feature >= 0 {
+				if x[nodes[ni].Feature] <= nodes[ni].Threshold {
+					ni = nodes[ni].Left
+				} else {
+					ni = nodes[ni].Right
+				}
+			}
+			row := out[i]
+			leaf := probs[ni*k : ni*k+k]
+			for c := 0; c < k; c++ {
+				row[c] += leaf[c]
+			}
+		}
+	}
+	inv := 1 / float64(len(f.Members))
+	for _, row := range out {
+		for c := range row {
+			row[c] *= inv
+		}
+	}
+	return out
 }
 
 // PredictProba implements Classifier by averaging member probabilities.

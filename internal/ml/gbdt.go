@@ -202,6 +202,44 @@ func (g *GBDT) PredictProba(x []float64) []float64 {
 	return mat.Softmax(logits, nil)
 }
 
+// PredictProbaBatch implements BatchPredictor with a tree-major
+// traversal: each boosted tree scores every instance before the next
+// tree is touched, keeping its node slice cache-resident across the
+// batch. Per-(instance, class) accumulation order matches PredictProba
+// (tree order within each class), so logits — and therefore the softmax
+// rows — are bit-identical to the per-instance path.
+func (g *GBDT) PredictProbaBatch(X [][]float64) [][]float64 {
+	if g.TreesPerClass == nil {
+		panic(ErrNotTrained)
+	}
+	out := probaRows(len(X), g.classes)
+	for c := 0; c < g.classes; c++ {
+		base := g.Base[c]
+		for i := range X {
+			out[i][c] = base
+		}
+		lr := g.Cfg.LearningRate
+		for _, tr := range g.TreesPerClass[c] {
+			nodes := tr.Nodes
+			for i, x := range X {
+				n := &nodes[0]
+				for n.Feature >= 0 {
+					if x[n.Feature] <= n.Threshold {
+						n = &nodes[n.Left]
+					} else {
+						n = &nodes[n.Right]
+					}
+				}
+				out[i][c] += lr * n.Value
+			}
+		}
+	}
+	for _, row := range out {
+		mat.Softmax(row, row)
+	}
+	return out
+}
+
 // --- tree building ------------------------------------------------------
 
 type gbBuilder struct {

@@ -6,11 +6,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
+	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/ml"
 	"repro/internal/resilience"
+	"repro/internal/serving"
 )
 
 // Client is the typed HTTP client the AI sensors and examples use to call
@@ -24,6 +29,119 @@ type Client struct {
 	// APIKey, when set, is sent as the X-API-Key header (the gateway's
 	// auth middleware).
 	APIKey string
+	// Retry, when set, transparently retries idempotent GETs (on network
+	// errors and 5xx) and shed requests (429 from serving admission
+	// control, any method — the request was rejected before execution)
+	// with exponentially growing, fully jittered back-off. A 429's
+	// Retry-After hint, when present, overrides the computed back-off.
+	Retry *RetryPolicy
+}
+
+// RetryPolicy configures the client's back-off schedule. Delays follow
+// "full jitter": attempt i sleeps uniform(0, min(MaxDelay, BaseDelay·2^i)).
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries, first included (default 4).
+	MaxAttempts int
+	// BaseDelay is the back-off scale of the first retry (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 2s).
+	MaxDelay time.Duration
+	// Seed makes the jitter sequence deterministic (tests); 0 keeps it
+	// deterministic too (a fixed default stream) — vary Seed per client
+	// to decorrelate fleets.
+	Seed int64
+	// Clock drives the back-off sleeps; clock.Real() when nil. Tests
+	// inject clock.Fake and assert the exact schedule.
+	Clock clock.Clock
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (p *RetryPolicy) attempts() int {
+	if p == nil {
+		return 1
+	}
+	if p.MaxAttempts <= 0 {
+		return 4
+	}
+	return p.MaxAttempts
+}
+
+func (p *RetryPolicy) clk() clock.Clock {
+	if p.Clock == nil {
+		return clock.Real()
+	}
+	return p.Clock
+}
+
+// backoff computes the fully jittered delay of retry i (0-based).
+func (p *RetryPolicy) backoff(i int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	limit := p.MaxDelay
+	if limit <= 0 {
+		limit = 2 * time.Second
+	}
+	ceil := base << uint(i)
+	if ceil > limit || ceil <= 0 {
+		ceil = limit
+	}
+	p.mu.Lock()
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.Seed))
+	}
+	d := time.Duration(p.rng.Int63n(int64(ceil) + 1))
+	p.mu.Unlock()
+	return d
+}
+
+// sleep blocks for the attempt's delay (hint, when positive, wins over
+// the computed back-off) or until ctx is done.
+func (p *RetryPolicy) sleep(ctx context.Context, i int, hint time.Duration) error {
+	d := hint
+	if d <= 0 {
+		d = p.backoff(i)
+	}
+	select {
+	case <-p.clk().After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryAfterHint parses a 429's integer-seconds Retry-After header.
+func retryAfterHint(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// assess decides whether an attempt's outcome is retryable and with what
+// back-off hint.
+func (p *RetryPolicy) assess(method string, resp *http.Response, err error) (bool, time.Duration) {
+	if p == nil {
+		return false, 0
+	}
+	if err != nil {
+		// Network failure: the request may have executed, so only
+		// idempotent GETs retry.
+		return method == http.MethodGet, 0
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// Shed before execution — safe to retry any method, honoring
+		// the server's back-off hint.
+		return true, retryAfterHint(resp)
+	}
+	return method == http.MethodGet && resp.StatusCode >= 500, 0
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -33,29 +151,56 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// roundTrip sends one logical request, replaying it per the retry policy,
+// and returns the final response (caller closes the body).
+func (c *Client) roundTrip(ctx context.Context, method, path string, raw []byte) (*http.Response, error) {
+	attempts := c.Retry.attempts()
+	for i := 0; ; i++ {
+		var body io.Reader
+		if raw != nil {
+			body = bytes.NewReader(raw)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+		if err != nil {
+			return nil, fmt.Errorf("build request: %w", err)
+		}
+		if raw != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if c.APIKey != "" {
+			req.Header.Set("X-API-Key", c.APIKey)
+		}
+		resp, err := c.httpClient().Do(req)
+		retryable, hint := c.Retry.assess(method, resp, err)
+		if !retryable || i+1 >= attempts {
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", method, path, err)
+			}
+			return resp, nil
+		}
+		if resp != nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+		}
+		if err := c.Retry.sleep(ctx, i, hint); err != nil {
+			return nil, fmt.Errorf("%s %s: %w", method, path, err)
+		}
+	}
+}
+
 // do posts in as JSON to path and decodes the response into out.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var raw []byte
 	if in != nil {
-		raw, err := json.Marshal(in)
+		var err error
+		raw, err = json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("marshal request: %w", err)
 		}
-		body = bytes.NewReader(raw)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	resp, err := c.roundTrip(ctx, method, path, raw)
 	if err != nil {
-		return fmt.Errorf("build request: %w", err)
-	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	if c.APIKey != "" {
-		req.Header.Set("X-API-Key", c.APIKey)
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return fmt.Errorf("%s %s: %w", method, path, err)
+		return err
 	}
 	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode >= 400 {
@@ -88,16 +233,11 @@ func (c *Client) Predict(ctx context.Context, req PredictRequest) (PredictRespon
 	return resp, err
 }
 
-// FetchModel downloads a stored model envelope and reconstructs it.
+// FetchModel downloads a stored model envelope and reconstructs it. The
+// id accepts every serving-registry reference form ("m0001", "lgbm@2",
+// "sha256:...").
 func (c *Client) FetchModel(ctx context.Context, id string) (ml.Classifier, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/models/"+id, nil)
-	if err != nil {
-		return nil, err
-	}
-	if c.APIKey != "" {
-		req.Header.Set("X-API-Key", c.APIKey)
-	}
-	resp, err := c.httpClient().Do(req)
+	resp, err := c.roundTrip(ctx, http.MethodGet, "/models/"+id, nil)
 	if err != nil {
 		return nil, fmt.Errorf("fetch model: %w", err)
 	}
@@ -110,6 +250,27 @@ func (c *Client) FetchModel(ctx context.Context, id string) (ml.Classifier, erro
 		return nil, fmt.Errorf("read model body: %w", err)
 	}
 	return ml.UnmarshalModel(raw)
+}
+
+// Promote atomically points a model alias at one of its versions.
+func (c *Client) Promote(ctx context.Context, req PromoteRequest) (AliasResponse, error) {
+	var resp AliasResponse
+	err := c.do(ctx, http.MethodPost, "/models/promote", req, &resp)
+	return resp, err
+}
+
+// Rollback restores a model alias's previously promoted version.
+func (c *Client) Rollback(ctx context.Context, name string) (AliasResponse, error) {
+	var resp AliasResponse
+	err := c.do(ctx, http.MethodPost, "/models/rollback", RollbackRequest{Name: name}, &resp)
+	return resp, err
+}
+
+// Aliases lists the ML service's model aliases and version histories.
+func (c *Client) Aliases(ctx context.Context) ([]serving.AliasInfo, error) {
+	var resp []serving.AliasInfo
+	err := c.do(ctx, http.MethodGet, "/aliases", nil, &resp)
+	return resp, err
 }
 
 // SHAP requests a SHAP explanation.

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// TestClientRetriesShedRequests drives the client against a server that
+// sheds twice (429 + Retry-After: 1) before serving, and asserts the
+// retry loop sleeps exactly the server's hint on a virtual timeline.
+func TestClientRetriesShedRequests(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded", http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"classes":[1],"probs":[[0,1]]}`))
+	}))
+	defer srv.Close()
+
+	fake := clock.NewFake(time.Unix(1700000000, 0))
+	c := &Client{BaseURL: srv.URL, Retry: &RetryPolicy{MaxAttempts: 4, Clock: fake, Seed: 1}}
+
+	type result struct {
+		resp PredictResponse
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := c.Predict(context.Background(), PredictRequest{ModelID: "m0001", Instances: [][]float64{{2, 0}}})
+		done <- result{resp, err}
+	}()
+
+	// Two shed attempts — release each exactly at the 1s Retry-After hint.
+	for i := 0; i < 2; i++ {
+		fake.BlockUntil(1)
+		fake.Advance(time.Second)
+	}
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("predict after retries: %v", res.err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("attempts %d, want 3", got)
+	}
+	if len(res.resp.Classes) != 1 || res.resp.Classes[0] != 1 {
+		t.Fatalf("classes %v", res.resp.Classes)
+	}
+}
+
+// TestClientRetriesIdempotentGET covers the 5xx retry path for GETs: the
+// back-off is jittered but always within the BaseDelay ceiling, so one
+// BaseDelay advance releases it.
+func TestClientRetriesIdempotentGET(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) == 1 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`[]`))
+	}))
+	defer srv.Close()
+
+	fake := clock.NewFake(time.Unix(1700000000, 0))
+	c := &Client{BaseURL: srv.URL, Retry: &RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, Clock: fake, Seed: 7}}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Aliases(context.Background())
+		done <- err
+	}()
+	fake.BlockUntil(1)
+	fake.Advance(50 * time.Millisecond)
+	if err := <-done; err != nil {
+		t.Fatalf("aliases after retry: %v", err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("attempts %d, want 2", got)
+	}
+}
+
+// TestClientDoesNotRetryFailedPOST pins the safety rule: a non-429 error
+// on a non-idempotent method must surface immediately.
+func TestClientDoesNotRetryFailedPOST(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	fake := clock.NewFake(time.Unix(1700000000, 0))
+	c := &Client{BaseURL: srv.URL, Retry: &RetryPolicy{MaxAttempts: 4, Clock: fake}}
+	if _, err := c.Predict(context.Background(), PredictRequest{ModelID: "x"}); err == nil {
+		t.Fatal("expected error")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("attempts %d, want 1 (POST 500 must not retry)", got)
+	}
+}

@@ -1,0 +1,82 @@
+package service
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestMLServicePromoteRollback exercises the registry's versioning
+// workflow over HTTP: retraining appends algorithm-alias versions,
+// promote moves the alias, rollback restores the previous promotion, and
+// every reference form predicts and fetches.
+func TestMLServicePromoteRollback(t *testing.T) {
+	mls := NewMLService()
+	defer mls.Close()
+	srv := httptest.NewServer(mls)
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+	ctx := context.Background()
+
+	tb := sepTable(150)
+	v1, err := c.Train(ctx, TrainRequest{Algorithm: "lr", Train: FromTable(tb), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := c.Train(ctx, TrainRequest{Algorithm: "lr", Train: FromTable(tb), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Ref.Name != "lr" || v1.Ref.Version != 1 || v2.Ref.Version != 2 {
+		t.Fatalf("algorithm alias refs %+v %+v", v1.Ref, v2.Ref)
+	}
+
+	aliases, err := c.Aliases(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lrCurrent int
+	for _, a := range aliases {
+		if a.Name == "lr" {
+			lrCurrent = a.Current
+			if len(a.Versions) != 2 {
+				t.Fatalf("lr versions %d, want 2", len(a.Versions))
+			}
+		}
+	}
+	if lrCurrent != 1 {
+		t.Fatalf("lr current %d, want 1 (first version auto-promotes)", lrCurrent)
+	}
+
+	// Every reference form serves.
+	for _, ref := range []string{v1.ModelID, "lr", "lr@2", "lr@latest", v2.Ref.ID} {
+		if _, err := c.Predict(ctx, PredictRequest{ModelID: ref, Instances: [][]float64{{2, 0}}}); err != nil {
+			t.Fatalf("predict via %q: %v", ref, err)
+		}
+		if _, err := c.FetchModel(ctx, ref); err != nil {
+			t.Fatalf("fetch via %q: %v", ref, err)
+		}
+	}
+
+	promoted, err := c.Promote(ctx, PromoteRequest{Name: "lr", Version: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if promoted.Version != 2 || promoted.ID != v2.Ref.ID {
+		t.Fatalf("promote response %+v", promoted)
+	}
+	rolled, err := c.Rollback(ctx, "lr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rolled.Version != 1 || rolled.ID != v1.Ref.ID {
+		t.Fatalf("rollback response %+v", rolled)
+	}
+
+	if _, err := c.Promote(ctx, PromoteRequest{Name: "ghost", Version: 1}); err == nil {
+		t.Fatal("promoting an unknown alias should 404")
+	}
+	if _, err := c.Rollback(ctx, "ghost"); err == nil {
+		t.Fatal("rolling back an unknown alias should 404")
+	}
+}

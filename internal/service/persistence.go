@@ -8,40 +8,41 @@ import (
 	"strings"
 
 	"repro/internal/ml"
+	"repro/internal/serving"
 )
 
-// storeIndex is the on-disk catalog of a saved model store.
+// storeIndex is the on-disk catalog of a saved model store: the service
+// metadata (ids, metrics, id counter) beside the serving registry's own
+// content-addressed blobs and alias state (registry.json).
 type storeIndex struct {
 	NextID int               `json:"nextId"`
 	Models []storeIndexEntry `json:"models"`
 }
 
 type storeIndexEntry struct {
-	ModelID   string     `json:"modelId"`
-	Algorithm string     `json:"algorithm"`
-	Metrics   ml.Metrics `json:"metrics"`
+	ModelID   string      `json:"modelId"`
+	Algorithm string      `json:"algorithm"`
+	Metrics   ml.Metrics  `json:"metrics"`
+	Ref       serving.Ref `json:"ref"`
 }
 
-// SaveStore persists every stored model to dir (one JSON envelope per
-// model plus an index), supporting the re-deployment/versioning workflow:
-// a service can be stopped, upgraded, and restarted with its model
-// catalog intact.
+// SaveStore persists the model catalog to dir — the serving registry
+// (one integrity-checkable JSON envelope per distinct model plus alias
+// state) and the service index — supporting the re-deployment/versioning
+// workflow: a service can be stopped, upgraded, and restarted with its
+// model catalog, version history, and promotions intact.
 func (s *MLService) SaveStore(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("create store dir: %w", err)
 	}
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	idx := storeIndex{NextID: s.nextID}
 	for _, m := range s.models {
-		blob, err := ml.MarshalModel(m.model)
-		if err != nil {
-			return fmt.Errorf("marshal %s: %w", m.id, err)
-		}
-		if err := os.WriteFile(filepath.Join(dir, m.id+".model.json"), blob, 0o644); err != nil {
-			return fmt.Errorf("write %s: %w", m.id, err)
-		}
-		idx.Models = append(idx.Models, storeIndexEntry{ModelID: m.id, Algorithm: m.algo, Metrics: m.metrics})
+		idx.Models = append(idx.Models, storeIndexEntry{ModelID: m.id, Algorithm: m.algo, Metrics: m.metrics, Ref: m.ref})
+	}
+	s.mu.RUnlock()
+	if err := s.runtime.Registry().Save(dir); err != nil {
+		return err
 	}
 	raw, err := json.MarshalIndent(idx, "", "  ")
 	if err != nil {
@@ -54,7 +55,7 @@ func (s *MLService) SaveStore(dir string) error {
 }
 
 // LoadStore restores a catalog previously written by SaveStore, replacing
-// the in-memory store.
+// the in-memory store and the serving registry's contents.
 func (s *MLService) LoadStore(dir string) error {
 	raw, err := os.ReadFile(filepath.Join(dir, "index.json"))
 	if err != nil {
@@ -64,20 +65,21 @@ func (s *MLService) LoadStore(dir string) error {
 	if err := json.Unmarshal(raw, &idx); err != nil {
 		return fmt.Errorf("parse index: %w", err)
 	}
-	loaded := make(map[string]*storedModel, len(idx.Models))
 	for _, e := range idx.Models {
 		if strings.ContainsAny(e.ModelID, "/\\") {
 			return fmt.Errorf("invalid model id %q in index", e.ModelID)
 		}
-		blob, err := os.ReadFile(filepath.Join(dir, e.ModelID+".model.json"))
-		if err != nil {
-			return fmt.Errorf("read model %s: %w", e.ModelID, err)
+	}
+	reg := s.runtime.Registry()
+	if err := reg.Load(dir); err != nil {
+		return err
+	}
+	loaded := make(map[string]*storedModel, len(idx.Models))
+	for _, e := range idx.Models {
+		if _, err := reg.Resolve(e.ModelID); err != nil {
+			return fmt.Errorf("index model %s missing from registry: %w", e.ModelID, err)
 		}
-		model, err := ml.UnmarshalModel(blob)
-		if err != nil {
-			return fmt.Errorf("decode model %s: %w", e.ModelID, err)
-		}
-		loaded[e.ModelID] = &storedModel{id: e.ModelID, algo: e.Algorithm, model: model, metrics: e.Metrics}
+		loaded[e.ModelID] = &storedModel{id: e.ModelID, algo: e.Algorithm, ref: e.Ref, metrics: e.Metrics}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

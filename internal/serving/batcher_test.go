@@ -1,0 +1,252 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/telemetry"
+)
+
+func newTestRuntime(t *testing.T, cfg Config) (*Runtime, *clock.Fake, *telemetry.Registry, Ref) {
+	t.Helper()
+	fake := clock.NewFake(time.Unix(1700000000, 0))
+	tel := telemetry.NewRegistry()
+	cfg.Clock = fake
+	cfg.Telemetry = tel
+	rt := New(cfg)
+	t.Cleanup(rt.Close)
+	ref, err := rt.Registry().Register("fall", trainedLogReg(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, fake, tel, ref
+}
+
+// histSeries fetches the single series of a histogram family.
+func histSeries(t *testing.T, tel *telemetry.Registry, name string) telemetry.Series {
+	t.Helper()
+	for _, fam := range tel.Gather() {
+		if fam.Name == name {
+			if len(fam.Series) != 1 {
+				t.Fatalf("metric %s has %d series", name, len(fam.Series))
+			}
+			return fam.Series[0]
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return telemetry.Series{}
+}
+
+// TestBatcherLatencyBoundFlush pins the exact virtual timeline of a
+// latency-bound flush: one queued instance sits until the fake clock
+// advances by MaxWait, then flushes as a batch of one whose recorded
+// batch latency is exactly MaxWait.
+func TestBatcherLatencyBoundFlush(t *testing.T) {
+	const maxWait = 2 * time.Millisecond
+	rt, fake, tel, ref := newTestRuntime(t, Config{MaxBatch: 64, MaxWait: maxWait, Workers: 1})
+
+	type result struct {
+		classes []int
+		err     error
+	}
+	done := make(chan result, 1)
+	go func() {
+		_, classes, err := rt.Predict(context.Background(), ref.Name, [][]float64{{2, 0}})
+		done <- result{classes, err}
+	}()
+
+	// The batcher received the item and armed its MaxWait timer; nothing
+	// flushes until virtual time reaches the deadline.
+	fake.BlockUntil(1)
+	select {
+	case r := <-done:
+		t.Fatalf("flushed before the latency bound: %+v", r)
+	default:
+	}
+
+	fake.Advance(maxWait)
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if len(r.classes) != 1 || r.classes[0] != 1 {
+		t.Fatalf("classes %v, want [1]", r.classes)
+	}
+
+	size := histSeries(t, tel, "spatial_serving_batch_size")
+	if size.Count != 1 || size.Sum != 1 {
+		t.Fatalf("batch size count=%d sum=%v, want one batch of one", size.Count, size.Sum)
+	}
+	lat := histSeries(t, tel, "spatial_serving_batch_latency_seconds")
+	if lat.Count != 1 || lat.Sum != maxWait.Seconds() {
+		t.Fatalf("batch latency count=%d sum=%v, want exactly %v", lat.Count, lat.Sum, maxWait.Seconds())
+	}
+	if metricValue(t, tel, "spatial_serving_predictions_total") != 1 {
+		t.Fatal("predictions counter != 1")
+	}
+	if rt.InFlight() != 0 {
+		t.Fatalf("in-flight %d after completion", rt.InFlight())
+	}
+}
+
+// TestBatcherSizeBoundFlush: a Predict carrying MaxBatch instances
+// flushes immediately — zero virtual time passes, so the recorded batch
+// latency is exactly 0 and the batch size exactly MaxBatch.
+func TestBatcherSizeBoundFlush(t *testing.T) {
+	rt, _, tel, ref := newTestRuntime(t, Config{MaxBatch: 3, MaxWait: time.Hour, Workers: 1})
+
+	probs, classes, err := rt.Predict(context.Background(), ref.Name,
+		[][]float64{{2, 0}, {-2, 0}, {2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 3 || len(classes) != 3 {
+		t.Fatalf("got %d probs / %d classes", len(probs), len(classes))
+	}
+	if classes[0] != 1 || classes[1] != 0 || classes[2] != 1 {
+		t.Fatalf("classes %v, want [1 0 1]", classes)
+	}
+
+	size := histSeries(t, tel, "spatial_serving_batch_size")
+	if size.Count != 1 || size.Sum != 3 {
+		t.Fatalf("batch size count=%d sum=%v, want one batch of three", size.Count, size.Sum)
+	}
+	lat := histSeries(t, tel, "spatial_serving_batch_latency_seconds")
+	if lat.Count != 1 || lat.Sum != 0 {
+		t.Fatalf("batch latency count=%d sum=%v, want exactly 0 (no virtual time passed)", lat.Count, lat.Sum)
+	}
+}
+
+// TestAdmissionControlSheds fills a line to its watermark and asserts the
+// next request is shed with an *OverloadedError carrying the configured
+// Retry-After, while the queued requests still complete.
+func TestAdmissionControlSheds(t *testing.T) {
+	cfg := Config{MaxBatch: 64, MaxWait: 2 * time.Millisecond, Workers: 1, QueueDepth: 8, ShedWatermark: 4}
+	rt, fake, tel, ref := newTestRuntime(t, cfg)
+
+	results := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, _, err := rt.Predict(context.Background(), ref.Name, [][]float64{{2, 0}})
+			results <- err
+		}()
+	}
+	// Wait until all four reservations are visible; they sit in the
+	// forming batch because the fake clock never reaches the deadline.
+	for rt.InFlightFor(ref.Name) != 4 {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	_, _, err := rt.Predict(context.Background(), ref.Name, [][]float64{{0, 0}})
+	var oe *OverloadedError
+	if !errors.As(err, &oe) {
+		t.Fatalf("err %v, want *OverloadedError", err)
+	}
+	if oe.RetryAfter != 250*time.Millisecond {
+		t.Fatalf("RetryAfter %v, want default 250ms", oe.RetryAfter)
+	}
+	if oe.Depth != 4 {
+		t.Fatalf("Depth %d, want 4", oe.Depth)
+	}
+	if metricValue(t, tel, "spatial_serving_shed_total") != 1 {
+		t.Fatal("shed counter != 1")
+	}
+
+	// Drain: release the forming batch and let the queued calls finish.
+	for done := 0; done < 4; {
+		select {
+		case err := <-results:
+			if err != nil {
+				t.Fatal(err)
+			}
+			done++
+		default:
+			if fake.Pending() > 0 {
+				fake.Advance(cfg.MaxWait)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	if rt.InFlight() != 0 {
+		t.Fatalf("in-flight %d after drain", rt.InFlight())
+	}
+	// Queue-depth gauge is collector-driven: gathering now reports 0.
+	if metricValue(t, tel, "spatial_serving_queue_depth") != 0 {
+		t.Fatal("queue depth gauge != 0 after drain")
+	}
+}
+
+// TestPredictErrors covers the non-batching failure modes.
+func TestPredictErrors(t *testing.T) {
+	rt, fake, _, ref := newTestRuntime(t, Config{Workers: 1})
+
+	if _, _, err := rt.Predict(context.Background(), "ghost", [][]float64{{0, 0}}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown ref: %v, want ErrNotFound", err)
+	}
+	if probs, classes, err := rt.Predict(context.Background(), ref.Name, nil); probs != nil || classes != nil || err != nil {
+		t.Fatal("empty batch should be a no-op")
+	}
+
+	// predictAsync starts a Predict, waits for its batch timer to arm,
+	// then releases it by advancing virtual time past the latency bound.
+	type result struct {
+		classes []int
+		err     error
+	}
+	predictAsync := func(instances [][]float64, ctx context.Context) chan result {
+		out := make(chan result, 1)
+		go func() {
+			_, classes, err := rt.Predict(ctx, ref.Name, instances)
+			out <- result{classes, err}
+		}()
+		fake.BlockUntil(1)
+		return out
+	}
+	// await advances virtual time whenever a batch timer is pending until
+	// the call completes (a batch may split if the deadline fires while
+	// instances are still queued).
+	await := func(out chan result) result {
+		for {
+			select {
+			case r := <-out:
+				return r
+			default:
+				if fake.Pending() > 0 {
+					fake.Advance(2 * time.Millisecond)
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}
+
+	// Context cancellation unblocks a waiting Predict.
+	ctx, cancel := context.WithCancel(context.Background())
+	out := predictAsync([][]float64{{2, 0}}, ctx)
+	cancel()
+	if r := <-out; !errors.Is(r.err, context.Canceled) {
+		t.Fatalf("cancelled Predict: %v", r.err)
+	}
+	fake.Advance(2 * time.Millisecond) // flush the abandoned batch
+	for rt.InFlight() != 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// A prediction panic (dimension mismatch) fails the call, not the
+	// worker: the runtime keeps serving afterwards.
+	if r := await(predictAsync([][]float64{{1, 2, 3, 4, 5}}, context.Background())); r.err == nil {
+		t.Fatal("dimension mismatch should surface as an error")
+	}
+	r := await(predictAsync([][]float64{{2, 0}, {-2, 0}}, context.Background()))
+	if r.err != nil || r.classes[0] != 1 || r.classes[1] != 0 {
+		t.Fatalf("runtime dead after panic: %+v", r)
+	}
+
+	rt.Close()
+	rt.Close() // idempotent
+	if _, _, err := rt.Predict(context.Background(), ref.Name, [][]float64{{2, 0}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("predict after close: %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,151 @@
+package serving
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/ml"
+)
+
+// benchTable synthesizes a k-class Gaussian-blob table for benchmark
+// training and query traffic.
+func benchTable(seed int64, n, d, k int) *dataset.Table {
+	rng := rand.New(rand.NewSource(seed))
+	feats := make([]string, d)
+	for i := range feats {
+		feats[i] = "f" + string(rune('a'+i))
+	}
+	classes := make([]string, k)
+	for i := range classes {
+		classes[i] = "c" + string(rune('a'+i))
+	}
+	tb := dataset.New("bench", feats, classes)
+	for i := 0; i < n; i++ {
+		y := i % k
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = float64(y)*2.0 + rng.NormFloat64()
+		}
+		if err := tb.Append(x, y); err != nil {
+			panic(err)
+		}
+	}
+	return tb
+}
+
+// Bench models use the experiment-default configs (100 unbounded-depth
+// trees; 150 boosting rounds per class) trained large enough that the
+// tree node arrays dwarf the L1/L2 caches — the regime the capacity
+// experiments (§VII-B) run the deployed models in, and the one where
+// tree-major batch traversal pays: the serial path re-streams every
+// tree's node array per instance, the batch kernel walks one tree's
+// array across the whole batch while it is cache-hot. Each model trains
+// once and is shared by the serial and batched benchmarks.
+var (
+	benchForestOnce  sync.Once
+	benchForestModel ml.Classifier
+	benchGBDTOnce    sync.Once
+	benchGBDTModel   ml.Classifier
+)
+
+func benchForest(b *testing.B) ml.Classifier {
+	b.Helper()
+	benchForestOnce.Do(func() {
+		cfg := ml.DefaultForestConfig()
+		cfg.Trees = 150
+		m := ml.NewForest(cfg)
+		if err := m.Fit(benchTable(1, 8000, benchDim, 3)); err != nil {
+			b.Fatal(err)
+		}
+		benchForestModel = m
+	})
+	return benchForestModel
+}
+
+func benchGBDT(b *testing.B) ml.Classifier {
+	b.Helper()
+	benchGBDTOnce.Do(func() {
+		cfg := ml.DefaultLightGBMConfig()
+		cfg.Rounds = 300
+		cfg.MaxLeaves = 127
+		m := ml.NewGBDT(cfg)
+		if err := m.Fit(benchTable(1, 3000, benchDim, 3)); err != nil {
+			b.Fatal(err)
+		}
+		benchGBDTModel = m
+	})
+	return benchGBDTModel
+}
+
+func benchQueries(n, d int) [][]float64 {
+	rng := rand.New(rand.NewSource(42))
+	X := make([][]float64, n)
+	for i := range X {
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = rng.NormFloat64() * 2
+		}
+		X[i] = x
+	}
+	return X
+}
+
+// benchConcurrency is the client fan-in for both paths — the paper's
+// capacity experiments drive services with 32+ concurrent JMeter threads.
+const benchConcurrency = 128
+
+// benchDim is the bench feature dimensionality.
+const benchDim = 12
+
+// benchmarkSerial measures the pre-serving prediction path: each of 32
+// concurrent requests walks the model per instance and argmaxes inline,
+// exactly what MLService.handlePredict did before the runtime.
+func benchmarkSerial(b *testing.B, m ml.Classifier) {
+	X := benchQueries(256, benchDim)
+	b.SetParallelism(benchConcurrency)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			probs := m.PredictProba(X[i%len(X)])
+			_ = mat.ArgMax(probs)
+			i++
+		}
+	})
+}
+
+// benchmarkBatched measures the same traffic through the serving runtime:
+// 32 concurrent single-instance Predicts coalesced into micro-batches
+// executed by the tree-major batch kernels.
+func benchmarkBatched(b *testing.B, m ml.Classifier) {
+	rt := New(Config{MaxBatch: benchConcurrency, MaxWait: 400 * time.Microsecond})
+	defer rt.Close()
+	ref, err := rt.Registry().Register("bench", m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	X := benchQueries(256, benchDim)
+	b.SetParallelism(benchConcurrency)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := context.Background()
+		i := 0
+		for pb.Next() {
+			if _, _, err := rt.Predict(ctx, ref.ID, [][]float64{X[i%len(X)]}); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkServingSerialForest(b *testing.B)  { benchmarkSerial(b, benchForest(b)) }
+func BenchmarkServingBatchedForest(b *testing.B) { benchmarkBatched(b, benchForest(b)) }
+func BenchmarkServingSerialGBDT(b *testing.B)    { benchmarkSerial(b, benchGBDT(b)) }
+func BenchmarkServingBatchedGBDT(b *testing.B)   { benchmarkBatched(b, benchGBDT(b)) }

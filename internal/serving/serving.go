@@ -1,0 +1,433 @@
+// Package serving is the model-serving runtime every SPATIAL service
+// predicts through: a versioned, content-addressed model registry with an
+// LRU warm cache, a per-model dynamic micro-batcher that coalesces
+// concurrent requests under size and latency bounds, per-model worker
+// pools with bounded queues, and admission control that sheds load with a
+// retryable overload error before queueing collapses into latency.
+//
+// The paper's capacity experiments (§VII-B) drive the deployed services
+// with concurrent JMeter traffic; this package replaces the serial
+// per-request prediction loop those experiments saturate with a runtime
+// that amortizes per-request overhead across batches (tree-major batch
+// kernels in internal/ml), bounds concurrency to the hardware, and turns
+// overload into fast 429s instead of unbounded queueing.
+//
+// Time is injected via internal/clock so batching deadlines are exact
+// virtual timelines under test; telemetry (queue depth, batch size and
+// latency, shed and eviction counters) records into an
+// internal/telemetry registry exposed at /metrics.
+package serving
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/ml"
+	"repro/internal/telemetry"
+)
+
+// Config parameterizes the runtime. The zero value is usable: every
+// field falls back to the documented default.
+type Config struct {
+	// MaxBatch is the micro-batch size bound (default 64): a forming
+	// batch flushes as soon as it holds MaxBatch instances.
+	MaxBatch int
+	// MaxWait is the micro-batch latency bound (default 2ms): a forming
+	// batch flushes when its oldest instance has waited MaxWait, full or
+	// not.
+	MaxWait time.Duration
+	// Workers is the per-model worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the per-model request queue (default 1024).
+	QueueDepth int
+	// ShedWatermark is the in-flight instance count (queued + batching +
+	// executing, per model) beyond which new requests are shed with an
+	// *OverloadedError (default 3/4 of QueueDepth, clamped to
+	// QueueDepth).
+	ShedWatermark int
+	// RetryAfter is the client back-off hint carried by shed responses
+	// (default 250ms).
+	RetryAfter time.Duration
+	// WarmBytes is the registry's warm-cache budget in serialized bytes
+	// (default 128 MiB): cold models deserialize on demand, least
+	// recently used models are evicted back to bytes.
+	WarmBytes int64
+	// Clock is the time source for batching deadlines and latency
+	// measurements; clock.Real() when nil. Tests install a clock.Fake
+	// and assert exact virtual timelines.
+	Clock clock.Clock
+	// Telemetry is the metric registry serving metrics record into; a
+	// private registry is created when nil.
+	Telemetry *telemetry.Registry
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.ShedWatermark <= 0 {
+		c.ShedWatermark = c.QueueDepth * 3 / 4
+	}
+	if c.ShedWatermark > c.QueueDepth {
+		c.ShedWatermark = c.QueueDepth
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 250 * time.Millisecond
+	}
+	if c.WarmBytes <= 0 {
+		c.WarmBytes = 128 << 20
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real()
+	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.NewRegistry()
+	}
+	return c
+}
+
+// OverloadedError is returned when admission control sheds a request:
+// the model's in-flight depth is past the watermark. Servers surface it
+// as 429 with a Retry-After header; service.Client honors the hint.
+type OverloadedError struct {
+	// Ref is the model reference the shed request addressed.
+	Ref string
+	// Depth is the in-flight instance count at shed time.
+	Depth int
+	// RetryAfter is the suggested client back-off.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("serving: model %s overloaded (%d in flight); retry after %v",
+		e.Ref, e.Depth, e.RetryAfter)
+}
+
+// ErrClosed is returned by Predict after Close.
+var ErrClosed = errors.New("serving: runtime closed")
+
+// Runtime is the model-serving runtime. Create with New, register models
+// through Registry(), predict with Predict, and Close when done.
+type Runtime struct {
+	cfg Config
+	clk clock.Clock
+	met *metrics
+	reg *Registry
+
+	mu     sync.Mutex
+	lines  map[string]*line
+	closed bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New constructs a runtime (and its registry) from cfg.
+func New(cfg Config) *Runtime {
+	cfg = cfg.withDefaults()
+	met := newMetrics(cfg.Telemetry)
+	r := &Runtime{
+		cfg:   cfg,
+		clk:   cfg.Clock,
+		met:   met,
+		reg:   newRegistry(cfg.WarmBytes, met),
+		lines: make(map[string]*line),
+		stop:  make(chan struct{}),
+	}
+	cfg.Telemetry.OnGather(func() { met.queueDepth.Set(float64(r.InFlight())) })
+	return r
+}
+
+// Registry returns the runtime's model registry.
+func (r *Runtime) Registry() *Registry { return r.reg }
+
+// Telemetry returns the metric registry serving metrics record into.
+func (r *Runtime) Telemetry() *telemetry.Registry { return r.cfg.Telemetry }
+
+// item is one instance waiting for a prediction.
+type item struct {
+	x    []float64
+	out  int
+	at   time.Time
+	call *call
+}
+
+// call aggregates the results of one Predict invocation whose instances
+// may be spread over several batches and workers.
+type call struct {
+	probs     [][]float64
+	remaining atomic.Int64
+	err       atomic.Pointer[error]
+	done      chan struct{}
+}
+
+func (c *call) deliver(i int, p []float64) {
+	c.probs[i] = p
+	if c.remaining.Add(-1) == 0 {
+		close(c.done)
+	}
+}
+
+func (c *call) fail(err error) {
+	c.err.CompareAndSwap(nil, &err)
+	if c.remaining.Add(-1) == 0 {
+		close(c.done)
+	}
+}
+
+// line is the serving pipeline of one content-addressed model: a bounded
+// request queue, a batcher goroutine coalescing it into micro-batches,
+// and a worker pool executing them.
+type line struct {
+	id       string
+	in       chan *item
+	work     chan []*item
+	inflight atomic.Int64
+}
+
+// line returns (creating and starting on first use) the pipeline for a
+// content id.
+func (r *Runtime) line(id string) (*line, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	if ln, ok := r.lines[id]; ok {
+		return ln, nil
+	}
+	ln := &line{
+		id:   id,
+		in:   make(chan *item, r.cfg.QueueDepth),
+		work: make(chan []*item, r.cfg.Workers),
+	}
+	r.lines[id] = ln
+	r.wg.Add(1 + r.cfg.Workers)
+	go r.runBatcher(ln)
+	for w := 0; w < r.cfg.Workers; w++ {
+		go r.runWorker(ln)
+	}
+	return ln, nil
+}
+
+// Predict scores instances against the model addressed by ref (a content
+// id, name@version, name@latest, or a promoted bare name), coalescing
+// them with concurrent callers into micro-batches. It returns one
+// probability row and one argmax class per instance.
+func (r *Runtime) Predict(ctx context.Context, ref string, instances [][]float64) ([][]float64, []int, error) {
+	id, err := r.reg.Resolve(ref)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(instances) == 0 {
+		return nil, nil, nil
+	}
+	ln, err := r.line(id)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Admission: reserve in-flight slots up front; past the watermark the
+	// request is shed instead of queued, so latency stays bounded and the
+	// client backs off (429 + Retry-After at the HTTP layer).
+	n := int64(len(instances))
+	depth := ln.inflight.Add(n)
+	if depth > int64(r.cfg.ShedWatermark) {
+		ln.inflight.Add(-n)
+		r.met.shed.Add(float64(n))
+		return nil, nil, &OverloadedError{Ref: ref, Depth: int(depth - n), RetryAfter: r.cfg.RetryAfter}
+	}
+
+	c := &call{probs: make([][]float64, len(instances)), done: make(chan struct{})}
+	c.remaining.Store(n)
+	now := r.clk.Now()
+	slab := make([]item, len(instances))
+	for i, x := range instances {
+		slab[i] = item{x: x, out: i, at: now, call: c}
+		// The reservation above guarantees queue room (channel occupancy
+		// never exceeds in-flight, which the watermark caps at or below
+		// the queue capacity), so this send cannot block on a full queue —
+		// a bare send, not a select, keeps it off the slow path.
+		ln.in <- &slab[i]
+	}
+
+	if ctxDone := ctx.Done(); ctxDone == nil {
+		// Background-style context: a two-way select keeps the hot path
+		// cheap.
+		select {
+		case <-c.done:
+		case <-r.stop:
+			return nil, nil, ErrClosed
+		}
+	} else {
+		select {
+		case <-c.done:
+		case <-ctxDone:
+			return nil, nil, ctx.Err()
+		case <-r.stop:
+			return nil, nil, ErrClosed
+		}
+	}
+	if ep := c.err.Load(); ep != nil {
+		return nil, nil, *ep
+	}
+	return c.probs, ml.ArgmaxAll(c.probs), nil
+}
+
+// runBatcher coalesces a line's queue into micro-batches: flush at
+// MaxBatch instances or when the first instance has waited MaxWait.
+func (r *Runtime) runBatcher(ln *line) {
+	defer r.wg.Done()
+	for {
+		var first *item
+		select {
+		case first = <-ln.in:
+		default:
+			// Queue idle: block until work or shutdown.
+			select {
+			case first = <-ln.in:
+			case <-r.stop:
+				return
+			}
+		}
+		batch := append(make([]*item, 0, r.cfg.MaxBatch), first)
+		deadline := r.clk.After(r.cfg.MaxWait)
+	collect:
+		for len(batch) < r.cfg.MaxBatch {
+			// Drain already-queued items with a cheap non-blocking
+			// receive; fall into the full select (deadline, shutdown)
+			// only when the queue is momentarily empty.
+			select {
+			case it := <-ln.in:
+				batch = append(batch, it)
+				continue
+			default:
+			}
+			select {
+			case it := <-ln.in:
+				batch = append(batch, it)
+			case <-deadline:
+				break collect
+			case <-r.stop:
+				return
+			}
+		}
+		select {
+		case ln.work <- batch:
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// runWorker executes dispatched batches.
+func (r *Runtime) runWorker(ln *line) {
+	defer r.wg.Done()
+	for {
+		select {
+		case batch := <-ln.work:
+			r.execute(ln, batch)
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// execute scores one batch and delivers per-item results. A model error
+// (or a prediction panic, e.g. a dimension mismatch) fails every item's
+// call instead of crashing the worker.
+func (r *Runtime) execute(ln *line, batch []*item) {
+	first := batch[0].at
+	probs, err := r.scoreBatch(ln.id, batch)
+	for i, it := range batch {
+		if err != nil {
+			it.call.fail(err)
+		} else {
+			it.call.deliver(it.out, probs[i])
+		}
+	}
+	ln.inflight.Add(-int64(len(batch)))
+	if err == nil {
+		// Counted here, once per batch, rather than per call: every
+		// instance in the batch was scored.
+		r.met.predictions.Add(float64(len(batch)))
+	}
+	r.met.batchSize.Observe(float64(len(batch)))
+	r.met.batchLatency.Observe(r.clk.Since(first).Seconds())
+}
+
+func (r *Runtime) scoreBatch(id string, batch []*item) (probs [][]float64, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("serving: predict panic: %v", rec)
+		}
+	}()
+	model, err := r.reg.Model(id)
+	if err != nil {
+		return nil, err
+	}
+	X := make([][]float64, len(batch))
+	for i, it := range batch {
+		X[i] = it.x
+	}
+	return ml.PredictProbaAll(model, X), nil
+}
+
+// InFlight reports the total in-flight instance count across every model
+// line (the admission-control queue-depth signal).
+func (r *Runtime) InFlight() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, ln := range r.lines {
+		total += ln.inflight.Load()
+	}
+	return int(total)
+}
+
+// InFlightFor reports the in-flight instance count of one model ref (0
+// when the ref does not resolve or has no line yet).
+func (r *Runtime) InFlightFor(ref string) int {
+	id, err := r.reg.Resolve(ref)
+	if err != nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ln, ok := r.lines[id]
+	if !ok {
+		return 0
+	}
+	return int(ln.inflight.Load())
+}
+
+// Close stops every batcher and worker and fails pending Predict calls
+// with ErrClosed. It is idempotent.
+func (r *Runtime) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.stop)
+	r.wg.Wait()
+}
