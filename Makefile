@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race bench bench-smoke fuzz experiments experiments-quick examples clean
+.PHONY: all build vet lint lint-fix lint-fix-dry lint-baseline test test-short race bench bench-smoke fuzz experiments experiments-quick examples clean
 
 all: build vet lint test
 
@@ -13,9 +13,25 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific invariants (determinism, telemetry cardinality, context
-# propagation, ...); exits nonzero on any unsuppressed finding.
+# propagation, resource leaks, ...); exits nonzero on any unsuppressed
+# finding at warn severity or above that is not absorbed by the committed
+# baseline.
 lint:
-	$(GO) run ./cmd/spatial-lint ./...
+	$(GO) run ./cmd/spatial-lint -baseline .lint-baseline.json ./...
+
+# Apply every mechanical fix the analyzers propose (defer cancel(),
+# clock injection, defer unlock). Use `-diff` via lint-fix-dry to
+# preview without writing.
+lint-fix:
+	$(GO) run ./cmd/spatial-lint -fix ./...
+
+lint-fix-dry:
+	$(GO) run ./cmd/spatial-lint -diff ./...
+
+# Re-snapshot the baseline: absorbs all current unsuppressed findings so
+# CI gates only on regressions. Review the diff before committing.
+lint-baseline:
+	$(GO) run ./cmd/spatial-lint -write-baseline -baseline .lint-baseline.json ./...
 
 test:
 	$(GO) test ./...

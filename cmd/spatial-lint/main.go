@@ -2,20 +2,33 @@
 // suite (internal/lint) over the repository: determinism of the
 // fixed-seed experiment packages, telemetry label-cardinality bounds,
 // trace-context propagation across the serving tiers, float-equality
-// discipline in the numeric kernels, goroutine lifecycle hygiene, and
-// unchecked I/O errors on the server edges.
+// discipline in the numeric kernels, goroutine lifecycle hygiene,
+// unchecked I/O errors on the server edges, and the flow-sensitive
+// checks (lock balance, response-body and context-cancel leaks,
+// wall-clock bypasses, append aliasing) built on the CFG dataflow
+// engine.
 //
 // Usage:
 //
-//	spatial-lint [-json] [-checks a,b] [-suppressed] [patterns...]
+//	spatial-lint [flags] [patterns...]
 //
-// Patterns default to "./...". Exit status is 0 when no unsuppressed
-// findings exist, 1 when findings remain, 2 on usage or load errors.
+// Patterns default to "./...". Exit status is 0 when no gating findings
+// exist, 1 when findings remain, 2 on usage or load errors. A finding
+// gates the run when it is unsuppressed, not absorbed by the baseline
+// file, and at least -fail-on severe.
+//
 // Suppress an individual finding inline with
 //
 //	//lint:ignore check-name reason
 //
-// on the offending line or the line above it.
+// on the offending line or the line above it (comma-separate several
+// check names to waive more than one).
+//
+// -fix applies the mechanical fixes some findings carry (insert `defer
+// cancel()`, swap time.Now() for the injected clock, defer an unpaired
+// Unlock); -diff prints those fixes as a unified diff without writing.
+// -write-baseline records the current findings into the baseline file so
+// a new check can land as error without blocking CI on legacy debt.
 package main
 
 import (
@@ -34,54 +47,133 @@ func main() {
 		list       = flag.Bool("list", false, "list available checks and exit")
 		suppressed = flag.Bool("suppressed", false, "also print suppressed findings (with their reasons)")
 		dir        = flag.String("dir", ".", "directory patterns are resolved against")
+		tests      = flag.Bool("tests", true, "also analyze test files (checks opt in individually)")
+		failOn     = flag.String("fail-on", "warn", "minimum severity that fails the run: error, warn, or info")
+		baseline   = flag.String("baseline", ".lint-baseline.json", "baseline file of accepted findings (missing file = empty)")
+		writeBase  = flag.Bool("write-baseline", false, "rewrite the baseline file from the current findings and exit")
+		fix        = flag.Bool("fix", false, "apply the mechanical fixes carried by findings")
+		diff       = flag.Bool("diff", false, "print the fixes as a diff without writing files")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-22s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-22s [%s] %s\n", a.Name, a.EffectiveSeverity(), a.Doc)
 		}
 		return
 	}
 
-	analyzers, err := lint.SelectAnalyzers(*checks)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	res, err := lint.Run(*dir, flag.Args(), analyzers)
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	active := res.Unsuppressed()
+	minSev := lint.Severity(*failOn)
+	switch minSev {
+	case lint.SeverityError, lint.SeverityWarn, lint.SeverityInfo:
+	default:
+		fail(fmt.Errorf("spatial-lint: -fail-on must be error, warn, or info (got %q)", *failOn))
+	}
+
+	analyzers, err := lint.SelectAnalyzers(*checks)
+	if err != nil {
+		fail(err)
+	}
+	res, err := lint.RunOpts(*dir, lint.Options{
+		Patterns:  flag.Args(),
+		Analyzers: analyzers,
+		Tests:     *tests,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	if *writeBase {
+		b := lint.BaselineFrom(res)
+		if err := b.Write(*baseline); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "spatial-lint: wrote %d entries to %s\n", len(b.Entries), *baseline)
+		return
+	}
+
+	base, err := lint.LoadBaseline(*baseline)
+	if err != nil {
+		fail(err)
+	}
+	res.ApplyBaseline(base)
+
+	if *fix || *diff {
+		patches, err := lint.BuildPatches(*dir, res.Findings)
+		if err != nil {
+			fail(err)
+		}
+		applied := 0
+		for _, p := range patches {
+			applied += p.Applied
+			if *diff {
+				fmt.Print(p.Diff())
+			}
+		}
+		if *fix && !*diff {
+			if err := lint.WritePatches(patches); err != nil {
+				fail(err)
+			}
+		}
+		verb := "would apply"
+		if *fix && !*diff {
+			verb = "applied"
+		}
+		fmt.Fprintf(os.Stderr, "spatial-lint: %s %d fixes across %d files\n", verb, applied, len(patches))
+		return
+	}
+
+	gating := res.Gating(minSev)
 	if *jsonOut {
 		out := struct {
 			Findings   []lint.Finding `json:"findings"`
 			Suppressed int            `json:"suppressed"`
+			Baselined  int            `json:"baselined"`
 			Packages   int            `json:"packages"`
-		}{active, len(res.Findings) - len(active), res.Packages}
+		}{res.Findings, 0, 0, res.Packages}
+		for _, f := range res.Findings {
+			if f.Suppressed {
+				out.Suppressed++
+			} else if f.Baselined {
+				out.Baselined++
+			}
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fail(err)
 		}
 	} else {
+		nSupp, nBase := 0, 0
 		for _, f := range res.Findings {
-			if f.Suppressed {
+			switch {
+			case f.Suppressed:
+				nSupp++
 				if *suppressed {
 					fmt.Printf("%s (suppressed: %s)\n", f, f.SuppressReason)
 				}
-				continue
+			case f.Baselined:
+				nBase++
+				if *suppressed {
+					fmt.Printf("%s (baselined)\n", f)
+				}
+			default:
+				fixable := ""
+				if len(f.Edits) > 0 {
+					fixable = " [fixable: rerun with -fix]"
+				}
+				fmt.Printf("%s%s\n", f, fixable)
 			}
-			fmt.Println(f)
 		}
-		fmt.Fprintf(os.Stderr, "spatial-lint: %d packages, %d findings (%d suppressed)\n",
-			res.Packages, len(active), len(res.Findings)-len(active))
+		fmt.Fprintf(os.Stderr, "spatial-lint: %d packages, %d gating findings (%d suppressed, %d baselined)\n",
+			res.Packages, len(gating), nSupp, nBase)
 	}
-	if len(active) > 0 {
+	if len(gating) > 0 {
 		os.Exit(1)
 	}
 }

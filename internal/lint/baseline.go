@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sort"
+)
+
+// BaselineEntry fingerprints one accepted finding. Line numbers are
+// deliberately absent: a baseline should survive unrelated edits to the
+// file, so entries match on (check, file, message). The message embeds
+// the variable names involved, which keeps the fingerprint tight enough
+// in practice.
+type BaselineEntry struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+// Baseline is the committed set of accepted findings gating CI: a run
+// fails only on findings not absorbed here. Each entry is consumed by at
+// most one finding per (check, file, message) occurrence count, so a
+// regression that duplicates a baselined defect still fails.
+type Baseline struct {
+	Entries []BaselineEntry `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty
+// baseline, not an error, so fresh checkouts and new tools work without
+// ceremony.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Write persists the baseline with stable ordering, so regenerating it
+// produces minimal diffs.
+func (b *Baseline) Write(path string) error {
+	entries := append([]BaselineEntry{}, b.Entries...)
+	sort.Slice(entries, func(i, j int) bool {
+		a, c := entries[i], entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Check != c.Check {
+			return a.Check < c.Check
+		}
+		return a.Message < c.Message
+	})
+	out := Baseline{Entries: entries}
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// BaselineFrom builds a baseline absorbing every unsuppressed finding of
+// the run.
+func BaselineFrom(r *Result) *Baseline {
+	b := &Baseline{}
+	for _, f := range r.Unsuppressed() {
+		b.Entries = append(b.Entries, BaselineEntry{Check: f.Check, File: f.File, Message: f.Message})
+	}
+	return b
+}
+
+// ApplyBaseline marks findings absorbed by the baseline as Baselined.
+// Each entry absorbs one finding occurrence; surplus findings with the
+// same fingerprint stay gating.
+func (r *Result) ApplyBaseline(b *Baseline) {
+	if b == nil || len(b.Entries) == 0 {
+		return
+	}
+	budget := make(map[BaselineEntry]int, len(b.Entries))
+	for _, e := range b.Entries {
+		budget[e]++
+	}
+	for i := range r.Findings {
+		f := &r.Findings[i]
+		if f.Suppressed {
+			continue
+		}
+		key := BaselineEntry{Check: f.Check, File: f.File, Message: f.Message}
+		if budget[key] > 0 {
+			budget[key]--
+			f.Baselined = true
+		}
+	}
+}

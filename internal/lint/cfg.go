@@ -1,0 +1,470 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds per-function control-flow graphs from syntax. The
+// graphs are intraprocedural: a node is one statement (function-literal
+// bodies are opaque — each literal gets its own graph), edges follow
+// branches, loops, switches, selects, labeled break/continue, and goto.
+// Two distinguished blocks collect exits: Exit for normal returns and
+// falling off the end, Panic for calls that terminate the goroutine
+// (panic, os.Exit, log.Fatal*, runtime.Goexit, testing's Fatal/Skip
+// family). Deferred statements stay in their block in execution order —
+// a forward analysis that treats `defer release()` as releasing at the
+// defer site computes exit states exactly, because the release is
+// guaranteed on every path that executed the defer.
+
+// Block is one basic block: a maximal straight-line statement sequence.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (stable, build order).
+	Index int
+	// Kind names the construct that created the block, for debugging and
+	// tests: "entry", "exit", "panic", "if.then", "for.head", ...
+	Kind string
+	// Nodes are the statements (and the range/switch headers) executed in
+	// this block, in order. Function literals inside a node are opaque.
+	Nodes []ast.Node
+	// Succs and Preds are the flow edges.
+	Succs []*Block
+	Preds []*Block
+	// Cond is set when the block ends in a two-way conditional branch
+	// (if, for-with-condition): TrueSucc is taken when Cond holds,
+	// FalseSucc otherwise. Analyzers use this to refine facts along
+	// edges (e.g. `err != nil` implies the paired response is nil).
+	Cond      ast.Expr
+	TrueSucc  *Block
+	FalseSucc *Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block
+	// Entry is the first executed block.
+	Entry *Block
+	// Exit collects normal terminations: every return statement and the
+	// fall-off-the-end path.
+	Exit *Block
+	// Panic collects abnormal terminations (panic, os.Exit, log.Fatal,
+	// t.Fatal, ...). Deferred calls still run on panic, but analyzers
+	// that gate on resource release usually only examine Exit.
+	Panic *Block
+	// Defers lists every defer statement in source order (function
+	// literals excluded).
+	Defers []*ast.DeferStmt
+}
+
+// cfgBuilder carries the construction state.
+type cfgBuilder struct {
+	p   *Pass
+	g   *CFG
+	cur *Block
+	// breakTargets / continueTargets are stacks of enclosing loop or
+	// switch targets; the label is "" for unlabeled constructs.
+	breakTargets    []branchTarget
+	continueTargets []branchTarget
+	// labelBlocks maps label names to their statement's block for goto.
+	labelBlocks map[string]*Block
+	// pendingGotos are forward gotos resolved after the walk.
+	pendingGotos []pendingGoto
+	// curLabel is the label attached to the statement being lowered, so
+	// `loop: for {...}` registers label-aware break/continue targets.
+	curLabel string
+}
+
+type branchTarget struct {
+	label string
+	block *Block
+}
+
+type pendingGoto struct {
+	name string
+	from *Block
+}
+
+// BuildCFG constructs the control-flow graph of body. The pass supplies
+// import resolution for recognizing terminating calls; it may have nil
+// type info (the builder then degrades to syntactic matching).
+func (p *Pass) BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		p:           p,
+		g:           &CFG{},
+		labelBlocks: make(map[string]*Block),
+	}
+	entry := b.newBlock("entry")
+	b.g.Entry = entry
+	b.g.Exit = b.newBlock("exit")
+	b.g.Panic = b.newBlock("panic")
+	b.cur = entry
+	b.stmtList(body.List)
+	// Falling off the end is a normal exit.
+	b.edge(b.cur, b.g.Exit)
+	for _, pg := range b.pendingGotos {
+		if target, ok := b.labelBlocks[pg.name]; ok {
+			b.edge(pg.from, target)
+		}
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge links from -> to unless from already terminated into an exit.
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// startBlock begins a new block and makes it current, linking from the
+// previous current block when it has not terminated.
+func (b *cfgBuilder) startBlock(kind string, linkFrom *Block) *Block {
+	blk := b.newBlock(kind)
+	if linkFrom != nil {
+		b.edge(linkFrom, blk)
+	}
+	b.cur = blk
+	return blk
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = b.newBlock("unreachable")
+	case *ast.DeferStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.g.Defers = append(b.g.Defers, s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	default:
+		// Straight-line statement (assign, expr, decl, send, incdec, go).
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if b.terminates(s) {
+			b.edge(b.cur, b.g.Panic)
+			b.cur = b.newBlock("unreachable")
+		}
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.cur
+	head.Nodes = append(head.Nodes, s.Cond)
+	head.Cond = s.Cond
+
+	then := b.startBlock("if.then", head)
+	head.TrueSucc = then
+	b.stmtList(s.Body.List)
+	thenEnd := b.cur
+
+	var elseEnd *Block
+	if s.Else != nil {
+		els := b.startBlock("if.else", head)
+		head.FalseSucc = els
+		b.stmt(s.Else)
+		elseEnd = b.cur
+	}
+
+	join := b.newBlock("if.join")
+	b.edge(thenEnd, join)
+	if s.Else != nil {
+		b.edge(elseEnd, join)
+	} else {
+		b.edge(head, join)
+		head.FalseSucc = join
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.startBlock("for.head", b.cur)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		head.Cond = s.Cond
+	}
+	after := b.newBlock("for.after")
+	post := b.newBlock("for.post")
+	label := b.pendingLabel(s)
+	b.breakTargets = append(b.breakTargets, branchTarget{label, after})
+	b.continueTargets = append(b.continueTargets, branchTarget{label, post})
+
+	body := b.startBlock("for.body", nil)
+	b.edge(head, body)
+	if s.Cond != nil {
+		head.TrueSucc = body
+		head.FalseSucc = after
+		b.edge(head, after)
+	}
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, post)
+	if s.Post != nil {
+		b.cur = post
+		b.stmt(s.Post)
+		b.edge(b.cur, head)
+	} else {
+		b.edge(post, head)
+	}
+
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	head := b.startBlock("range.head", b.cur)
+	head.Nodes = append(head.Nodes, s)
+	after := b.newBlock("range.after")
+	label := b.pendingLabel(s)
+	b.breakTargets = append(b.breakTargets, branchTarget{label, after})
+	b.continueTargets = append(b.continueTargets, branchTarget{label, head})
+
+	body := b.startBlock("range.body", nil)
+	b.edge(head, body)
+	b.edge(head, after)
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, head)
+
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.cur
+	if s.Tag != nil {
+		head.Nodes = append(head.Nodes, s.Tag)
+	}
+	after := b.newBlock("switch.after")
+	b.breakTargets = append(b.breakTargets, branchTarget{b.pendingLabel(s), after})
+	b.caseClauses(head, after, s.Body.List)
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.cur
+	head.Nodes = append(head.Nodes, s.Assign)
+	after := b.newBlock("typeswitch.after")
+	b.breakTargets = append(b.breakTargets, branchTarget{b.pendingLabel(s), after})
+	b.caseClauses(head, after, s.Body.List)
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.cur = after
+}
+
+// caseClauses wires switch/type-switch clause bodies: head fans out to
+// every clause (and to after when there is no default); fallthrough
+// chains to the next clause's body.
+func (b *cfgBuilder) caseClauses(head, after *Block, clauses []ast.Stmt) {
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blocks[i] = b.newBlock("case.body")
+		b.edge(head, blocks[i])
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	for i, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok || blocks[i] == nil {
+			continue
+		}
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.cur.Nodes = append(b.cur.Nodes, e)
+		}
+		// A fallthrough terminator flows into the next clause's body.
+		fellThrough := false
+		for _, st := range cc.Body {
+			if br, isBr := st.(*ast.BranchStmt); isBr && br.Tok == token.FALLTHROUGH {
+				if i+1 < len(blocks) && blocks[i+1] != nil {
+					b.edge(b.cur, blocks[i+1])
+					fellThrough = true
+				}
+				continue
+			}
+			b.stmt(st)
+		}
+		if !fellThrough {
+			b.edge(b.cur, after)
+		} else {
+			b.cur = b.newBlock("unreachable")
+		}
+	}
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	head := b.cur
+	after := b.newBlock("select.after")
+	b.breakTargets = append(b.breakTargets, branchTarget{b.pendingLabel(s), after})
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		body := b.newBlock("select.body")
+		b.edge(head, body)
+		b.cur = body
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) labeledStmt(s *ast.LabeledStmt) {
+	// The labeled statement begins a new block so gotos can target it.
+	target := b.startBlock("label."+s.Label.Name, b.cur)
+	b.labelBlocks[s.Label.Name] = target
+	b.curLabel = s.Label.Name
+	b.stmt(s.Stmt)
+	b.curLabel = ""
+}
+
+// pendingLabel consumes the label attached to the enclosing LabeledStmt
+// (set just before lowering the labeled statement itself).
+func (b *cfgBuilder) pendingLabel(ast.Stmt) string {
+	l := b.curLabel
+	b.curLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	b.cur.Nodes = append(b.cur.Nodes, s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := findTarget(b.breakTargets, label); t != nil {
+			b.edge(b.cur, t)
+		}
+	case token.CONTINUE:
+		if t := findTarget(b.continueTargets, label); t != nil {
+			b.edge(b.cur, t)
+		}
+	case token.GOTO:
+		if t, ok := b.labelBlocks[label]; ok {
+			b.edge(b.cur, t)
+		} else {
+			b.pendingGotos = append(b.pendingGotos, pendingGoto{label, b.cur})
+		}
+	case token.FALLTHROUGH:
+		// Handled inside caseClauses; a stray fallthrough is dead code.
+	}
+	b.cur = b.newBlock("unreachable")
+}
+
+// findTarget picks the innermost target matching label ("" matches the
+// innermost of any label).
+func findTarget(stack []branchTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// terminates reports whether the statement unconditionally ends the
+// goroutine: panic, os.Exit, log.Fatal*/log.Panic*, runtime.Goexit, and
+// the testing Fatal/Skip family.
+func (b *cfgBuilder) terminates(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "panic" {
+		// Guard against a local function shadowing the builtin: the
+		// builtin's object carries no package.
+		if b.p.Info != nil {
+			if obj, found := b.p.Info.Uses[id]; found {
+				return obj.Pkg() == nil
+			}
+		}
+		return true
+	}
+	if path, name, ok := b.p.PkgFunc(call); ok {
+		switch {
+		case path == "os" && name == "Exit":
+			return true
+		case path == "runtime" && name == "Goexit":
+			return true
+		case path == "log" && (name == "Fatal" || name == "Fatalf" || name == "Fatalln" ||
+			name == "Panic" || name == "Panicf" || name == "Panicln"):
+			return true
+		}
+	}
+	if recv, name, ok := b.p.MethodCall(call); ok {
+		switch name {
+		case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+			if pkgPath, _ := namedPath(recv); pkgPath == "testing" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildCFG parses a function body and builds its CFG without type
+// information (the builder degrades to syntactic matching, which these
+// structural tests exercise deliberately).
+func buildCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test_input.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := f.Decls[0].(*ast.FuncDecl)
+	p := &Pass{Fset: fset, Files: []*ast.File{f}}
+	return p.BuildCFG(fn.Body)
+}
+
+// reaches reports whether to is reachable from from along Succs edges.
+func reaches(from, to *Block) bool {
+	seen := make(map[*Block]bool)
+	var walk func(*Block) bool
+	walk = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildCFG(t, "x := 1\n_ = x")
+	if len(g.Entry.Nodes) != 2 {
+		t.Fatalf("entry nodes = %d, want 2", len(g.Entry.Nodes))
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("entry does not reach exit")
+	}
+	if reaches(g.Entry, g.Panic) {
+		t.Fatal("straight-line code must not reach the panic block")
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	g := buildCFG(t, "x := 1\nif x > 0 {\n\tx = 2\n} else {\n\tx = 3\n}\n_ = x")
+	head := g.Entry
+	if head.Cond == nil || head.TrueSucc == nil || head.FalseSucc == nil {
+		t.Fatalf("if head missing cond/branch successors: %+v", head)
+	}
+	if head.TrueSucc == head.FalseSucc {
+		t.Fatal("then and else arms collapsed into one block")
+	}
+	if !reaches(head.TrueSucc, g.Exit) || !reaches(head.FalseSucc, g.Exit) {
+		t.Fatal("both arms must reach exit")
+	}
+}
+
+func TestCFGIfWithoutElse(t *testing.T) {
+	g := buildCFG(t, "x := 1\nif x > 0 {\n\tx = 2\n}\n_ = x")
+	head := g.Entry
+	if head.FalseSucc == nil {
+		t.Fatal("no-else if must set FalseSucc to the join block")
+	}
+	// The false edge skips the then block entirely.
+	for _, n := range head.FalseSucc.Nodes {
+		if _, ok := n.(*ast.AssignStmt); ok && head.FalseSucc.Kind == "if.then" {
+			t.Fatal("false edge leads into the then arm")
+		}
+	}
+}
+
+func TestCFGEarlyReturn(t *testing.T) {
+	g := buildCFG(t, "x := 1\nif x > 0 {\n\treturn\n}\n_ = x")
+	// Two distinct paths into Exit: the early return and the fall-off.
+	if len(g.Exit.Preds) < 2 {
+		t.Fatalf("exit preds = %d, want >= 2 (early return + fall-off)", len(g.Exit.Preds))
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	g := buildCFG(t, "s := 0\nfor i := 0; i < 10; i++ {\n\ts += i\n}\n_ = s")
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no for.head block")
+	}
+	if head.Cond == nil || head.TrueSucc == nil || head.FalseSucc == nil {
+		t.Fatal("loop head must be a conditional branch")
+	}
+	if !reaches(head.TrueSucc, head) {
+		t.Fatal("loop body does not flow back to the head")
+	}
+	if !reaches(head.FalseSucc, g.Exit) {
+		t.Fatal("loop exit edge does not reach function exit")
+	}
+}
+
+func TestCFGPanicBlock(t *testing.T) {
+	g := buildCFG(t, "x := 1\nif x > 0 {\n\tpanic(\"boom\")\n}\n_ = x")
+	if !reaches(g.Entry, g.Panic) {
+		t.Fatal("panic call does not reach the panic block")
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("non-panicking path must still reach exit")
+	}
+	// The panic path must not fall through to exit.
+	var panicPred *Block
+	for _, b := range g.Panic.Preds {
+		panicPred = b
+	}
+	if panicPred == nil {
+		t.Fatal("panic block has no predecessors")
+	}
+	for _, s := range panicPred.Succs {
+		if s == g.Exit {
+			t.Fatal("panicking block also flows to normal exit")
+		}
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := buildCFG(t, "x := 1\nswitch x {\ncase 1:\n\tx = 10\n\tfallthrough\ncase 2:\n\tx = 20\ndefault:\n\tx = 30\n}\n_ = x")
+	var cases []*Block
+	for _, b := range g.Blocks {
+		if b.Kind == "case.body" {
+			cases = append(cases, b)
+		}
+	}
+	if len(cases) != 3 {
+		t.Fatalf("case blocks = %d, want 3", len(cases))
+	}
+	// Fallthrough: case 1's body flows into case 2's body.
+	found := false
+	for _, s := range cases[0].Succs {
+		if s == cases[1] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fallthrough edge from case 1 to case 2 missing")
+	}
+	// With a default clause, the head must not bypass to after.
+	for _, s := range g.Entry.Succs {
+		if s.Kind == "switch.after" {
+			t.Fatal("switch with default must not edge head -> after")
+		}
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := buildCFG(t, "outer:\nfor {\n\tfor {\n\t\tbreak outer\n\t}\n}\n_ = 1")
+	// The labeled break must reach exit without passing the outer loop
+	// head again: find the break's block and check its successor is the
+	// outer after block.
+	var breakBlock *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if br, ok := n.(*ast.BranchStmt); ok && br.Tok == token.BREAK {
+				breakBlock = b
+			}
+		}
+	}
+	if breakBlock == nil {
+		t.Fatal("break statement not placed in any block")
+	}
+	foundAfter := false
+	for _, s := range breakBlock.Succs {
+		if s.Kind == "for.after" {
+			foundAfter = true
+		}
+	}
+	if !foundAfter {
+		t.Fatalf("labeled break does not edge to a for.after block (succs: %v)", kinds(breakBlock.Succs))
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("function with labeled break does not reach exit")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	g := buildCFG(t, "ch := make(chan int)\nselect {\ncase <-ch:\n\t_ = 1\ndefault:\n\t_ = 2\n}\n_ = 3")
+	bodies := 0
+	for _, b := range g.Blocks {
+		if b.Kind == "select.body" {
+			bodies++
+			if !reaches(b, g.Exit) {
+				t.Fatal("select arm does not reach exit")
+			}
+		}
+	}
+	if bodies != 2 {
+		t.Fatalf("select bodies = %d, want 2", bodies)
+	}
+}
+
+func TestCFGDefersCollected(t *testing.T) {
+	g := buildCFG(t, "defer println(1)\nif true {\n\tdefer println(2)\n}")
+	if len(g.Defers) != 2 {
+		t.Fatalf("defers = %d, want 2", len(g.Defers))
+	}
+}
+
+func kinds(bs []*Block) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Kind
+	}
+	return out
+}

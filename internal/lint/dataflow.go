@@ -1,0 +1,184 @@
+package lint
+
+// This file implements the generic dataflow half of the engine: a
+// forward/backward worklist solver over the CFGs built in cfg.go.
+// Analyzers describe their lattice through a FlowProblem — the fact
+// type, the meet (join) operator, the per-block transfer function, and
+// an optional per-edge refinement (used to narrow facts along the true
+// and false edges of a conditional, e.g. "err != nil implies resp is
+// nil"). The solver iterates to a fixpoint; the lattices used by the
+// analyzers in this package are finite powersets, so termination is
+// guaranteed as long as Transfer and Meet are monotone.
+
+// FlowProblem describes one dataflow analysis over a CFG.
+type FlowProblem[F any] struct {
+	// Backward selects analysis direction: false = forward (facts flow
+	// entry -> exit), true = backward (facts flow exit -> entry, and
+	// Transfer sees each block's nodes in reverse).
+	Backward bool
+	// Boundary is the fact at the boundary block: Entry for forward
+	// analyses, Exit (and Panic) for backward ones.
+	Boundary func() F
+	// Init produces the optimistic initial fact (bottom) for every other
+	// block.
+	Init func() F
+	// Meet combines facts flowing in from multiple edges. It must not
+	// mutate its arguments; return a fresh value (or one of the inputs
+	// when unchanged).
+	Meet func(a, b F) F
+	// Equal reports fact equality, used to detect the fixpoint.
+	Equal func(a, b F) bool
+	// Transfer applies the block's effect to a fact. It must not mutate
+	// the input.
+	Transfer func(b *Block, f F) F
+	// EdgeRefine, when non-nil, narrows the fact flowing across the
+	// from -> to edge (called with execution-order from/to even in
+	// backward mode). It must not mutate the input.
+	EdgeRefine func(from, to *Block, f F) F
+}
+
+// BlockFacts holds the solved facts at a block's boundaries, in
+// execution order: In is the fact before the block's nodes run, Out the
+// fact after.
+type BlockFacts[F any] struct {
+	In, Out F
+}
+
+// Solve runs the worklist algorithm to a fixpoint and returns per-block
+// facts. Unreachable blocks keep their Init facts.
+func Solve[F any](g *CFG, p FlowProblem[F]) map[*Block]*BlockFacts[F] {
+	facts := make(map[*Block]*BlockFacts[F], len(g.Blocks))
+	for _, b := range g.Blocks {
+		facts[b] = &BlockFacts[F]{In: p.Init(), Out: p.Init()}
+	}
+	boundary := g.Entry
+	if p.Backward {
+		boundary = g.Exit
+	}
+
+	// Seed the worklist in rough execution order (build order is close
+	// to it); the worklist then handles the rest.
+	work := make([]*Block, 0, len(g.Blocks))
+	inWork := make(map[*Block]bool, len(g.Blocks))
+	push := func(b *Block) {
+		if !inWork[b] {
+			inWork[b] = true
+			work = append(work, b)
+		}
+	}
+	for _, b := range g.Blocks {
+		push(b)
+	}
+	if p.Backward {
+		// Reverse the seed so predecessors of Exit stabilize first.
+		for i, j := 0, len(work)-1; i < j; i, j = i+1, j-1 {
+			work[i], work[j] = work[j], work[i]
+		}
+	}
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+
+		f := facts[b]
+		if !p.Backward {
+			in := p.Init()
+			if b == boundary {
+				in = p.Boundary()
+			}
+			for _, pred := range b.Preds {
+				e := facts[pred].Out
+				if p.EdgeRefine != nil {
+					e = p.EdgeRefine(pred, b, e)
+				}
+				in = p.Meet(in, e)
+			}
+			out := p.Transfer(b, in)
+			changed := !p.Equal(out, f.Out)
+			f.In, f.Out = in, out
+			if changed {
+				for _, s := range b.Succs {
+					push(s)
+				}
+			}
+		} else {
+			out := p.Init()
+			if b == boundary || b == g.Panic {
+				out = p.Meet(out, p.Boundary())
+			}
+			for _, succ := range b.Succs {
+				e := facts[succ].In
+				if p.EdgeRefine != nil {
+					e = p.EdgeRefine(b, succ, e)
+				}
+				out = p.Meet(out, e)
+			}
+			in := p.Transfer(b, out)
+			changed := !p.Equal(in, f.In)
+			f.In, f.Out = in, out
+			if changed {
+				for _, pr := range b.Preds {
+					push(pr)
+				}
+			}
+		}
+	}
+	return facts
+}
+
+// --- small fact helpers shared by the flow-sensitive analyzers ---
+//
+// The analyzers' facts are all finite maps from a tracked key (a lock
+// expression, a variable) to a small comparable payload. These helpers
+// implement the copy-on-write set algebra the solver contract requires.
+
+// cloneFacts copies m.
+func cloneFacts[K, V comparable](m map[K]V) map[K]V {
+	out := make(map[K]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// unionFacts merges b into a copy of a; on key conflicts, keep resolves
+// (keep(a-value, b-value)). keep == nil keeps a's value.
+func unionFacts[K, V comparable](a, b map[K]V, keep func(V, V) V) map[K]V {
+	if len(b) == 0 {
+		return a
+	}
+	out := cloneFacts(a)
+	for k, v := range b {
+		if old, ok := out[k]; ok {
+			if keep != nil {
+				out[k] = keep(old, v)
+			}
+		} else {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// equalFacts reports whether the two maps hold the same entries.
+func equalFacts[K, V comparable](a, b map[K]V) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// keepEarlier is the common conflict policy: report at the first
+// acquisition site.
+func keepEarlier(a, b int) int {
+	if b < a {
+		return b
+	}
+	return a
+}

@@ -3,19 +3,26 @@ package lint
 import (
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Analyzers returns the full registered suite, sorted by name.
 func Analyzers() []*Analyzer {
 	all := []*Analyzer{
+		AnalyzerAppendAlias,
+		AnalyzerBodyLeak,
+		AnalyzerCtxLeak,
 		AnalyzerCtxPropagation,
 		AnalyzerFloatEq,
 		AnalyzerGoroutineLeak,
+		AnalyzerLockBalance,
 		AnalyzerNondeterminism,
 		AnalyzerTelemetryCardinality,
 		AnalyzerUncheckedErr,
+		AnalyzerWallClock,
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all
@@ -46,23 +53,75 @@ func (r *Result) Unsuppressed() []Finding {
 	return out
 }
 
+// Gating returns the findings that should fail a run: unsuppressed, not
+// absorbed by the baseline, and at least min severe.
+func (r *Result) Gating(min Severity) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Suppressed || f.Baselined {
+			continue
+		}
+		if !f.Severity.AtLeast(min) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Options configures a driver run.
+type Options struct {
+	// Patterns are package patterns resolved against the run directory
+	// ("./..." when empty).
+	Patterns []string
+	// Analyzers restricts the run to a subset (nil runs the full suite).
+	Analyzers []*Analyzer
+	// Tests loads and analyzes test packages too. Analyzers opt in per
+	// check via Analyzer.IncludeTests.
+	Tests bool
+}
+
 // Run loads the packages matched by patterns (resolved against dir) and
-// runs the given analyzers (the full suite when nil). File paths in
-// findings are reported relative to dir when possible.
+// runs the given analyzers (the full suite when nil) with test packages
+// included. File paths in findings are reported relative to dir when
+// possible.
 func Run(dir string, patterns []string, analyzers []*Analyzer) (*Result, error) {
-	fullSuite := analyzers == nil
+	return RunOpts(dir, Options{Patterns: patterns, Analyzers: analyzers, Tests: true})
+}
+
+// RunOpts is Run with full control over loading and analyzer selection.
+// Packages are analyzed in parallel, one goroutine per package over the
+// loader's shared type-check cache.
+func RunOpts(dir string, opts Options) (*Result, error) {
+	fullSuite := opts.Analyzers == nil
+	analyzers := opts.Analyzers
 	if fullSuite {
 		analyzers = Analyzers()
 	}
-	loader := &Loader{Dir: dir}
-	pkgs, err := loader.Load(patterns)
+	loader := &Loader{Dir: dir, Tests: opts.Tests}
+	pkgs, err := loader.Load(opts.Patterns)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Packages: len(pkgs)}
-	for _, pkg := range pkgs {
-		res.Findings = append(res.Findings, analyzePackage(loader, pkg, analyzers, fullSuite)...)
+
+	perPkg := make([][]Finding, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			perPkg[i] = analyzePackage(loader, pkg, analyzers, fullSuite)
+		}(i, pkg)
 	}
+	wg.Wait()
+	for _, fs := range perPkg {
+		res.Findings = append(res.Findings, fs...)
+	}
+
 	for i := range res.Findings {
 		if rel, err := filepath.Rel(loader.Dir, res.Findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
 			res.Findings[i].File = rel
@@ -75,13 +134,19 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) (*Result, error) 
 // analyzePackage runs the applicable analyzers over one package and
 // resolves suppression directives. Stale-directive detection only runs
 // with the full suite: a subset run cannot tell a stale directive from
-// one covering a disabled check.
+// one covering a disabled check. Test packages only see analyzers that
+// opted in via IncludeTests.
 func analyzePackage(loader *Loader, pkg *Package, analyzers []*Analyzer, fullSuite bool) []Finding {
 	var findings []Finding
 	report := func(f Finding) { findings = append(findings, f) }
 
 	inCorpus := strings.Contains(filepath.ToSlash(pkg.Dir), corpusMarker)
+	ranAll := true
 	for _, a := range analyzers {
+		if pkg.IsTest && !a.IncludeTests {
+			ranAll = false
+			continue
+		}
 		if !inCorpus && a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
 			continue
 		}
@@ -102,7 +167,7 @@ func analyzePackage(loader *Loader, pkg *Package, analyzers []*Analyzer, fullSui
 		directives = append(directives, collectDirectives(loader.Fset(), f, report)...)
 	}
 	staleReport := report
-	if !fullSuite || inCorpus {
+	if !fullSuite || inCorpus || !ranAll {
 		staleReport = nil
 	}
 	applyDirectives(findings, directives, staleReport)

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTypeCheckOncePerPackage loads the whole module — root directories
+// in parallel over the shared cache — and asserts no package was
+// type-checked more than once. Without the cache's wait-on-in-flight
+// entries, a popular dependency (telemetry, clock) would be re-checked
+// by every importer and full-repo runs would be quadratic-ish.
+func TestTypeCheckOncePerPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type-check is slow; run without -short")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := &Loader{Dir: root, Tests: true}
+	pkgs, err := loader.Load([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	counts := loader.CheckCounts()
+	if len(counts) == 0 {
+		t.Fatal("no type-checks recorded")
+	}
+	for key, n := range counts {
+		if n > 1 {
+			t.Errorf("package %s type-checked %d times, want 1", key, n)
+		}
+	}
+	// Spot-check that shared dependencies were actually demanded.
+	for _, dep := range []string{"repro/internal/telemetry", "repro/internal/clock"} {
+		if counts[dep] != 1 {
+			t.Errorf("dependency %s checked %d times, want exactly 1", dep, counts[dep])
+		}
+	}
+}
+
+// TestLoadsExternalTestPackages pins the satellite fix: the repo root
+// holds only an external benchmark package (bench_ext_test.go, package
+// repro), which the loader used to skip entirely.
+func TestLoadsExternalTestPackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type-check is slow; run without -short")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := &Loader{Dir: root, Tests: true}
+	pkgs, err := loader.Load([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawRootBench, sawInPackageTest bool
+	for _, p := range pkgs {
+		if p.Path == "repro" && p.IsTest {
+			sawRootBench = true
+		}
+		if p.IsTest && strings.HasPrefix(p.Path, "repro/internal/") {
+			sawInPackageTest = true
+		}
+	}
+	if !sawRootBench {
+		t.Error("root external benchmark package (repro, test) not loaded")
+	}
+	if !sawInPackageTest {
+		t.Error("no in-package test packages loaded under repro/internal")
+	}
+}
+
+// BenchmarkFullRepoRun measures the parallel driver end to end: load,
+// type-check, and analyze the whole module with all analyzers.
+func BenchmarkFullRepoRun(b *testing.B) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(root, []string{"./..."}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeOnly isolates the analysis half: one load, then
+// repeated analyzer passes over the cached packages.
+func BenchmarkAnalyzeOnly(b *testing.B) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	loader := &Loader{Dir: root, Tests: true}
+	pkgs, err := loader.Load([]string{"./..."})
+	if err != nil {
+		b.Fatal(err)
+	}
+	analyzers := Analyzers()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pkg := range pkgs {
+			analyzePackage(loader, pkg, analyzers, true)
+		}
+	}
+}

@@ -57,11 +57,12 @@ func collectDirectives(fset *token.FileSet, f *ast.File, report func(Finding)) [
 			reason = strings.TrimSpace(reason)
 			if name == "" || reason == "" {
 				report(Finding{
-					Check:   "lint-directive",
-					File:    pos.Filename,
-					Line:    pos.Line,
-					Col:     pos.Column,
-					Message: "malformed lint:ignore directive: want //lint:ignore check-name reason",
+					Check:    "lint-directive",
+					Severity: SeverityError,
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Message:  "malformed lint:ignore directive: want //lint:ignore check-name reason",
 				})
 				continue
 			}
@@ -118,10 +119,11 @@ func applyDirectives(findings []Finding, directives []directive, report func(Fin
 			// get cleaned up. The driver only enables this when every
 			// analyzer ran (a subset run cannot tell stale from dormant).
 			report(Finding{
-				Check:   "lint-directive",
-				File:    d.file,
-				Line:    d.line,
-				Message: "lint:ignore directive suppresses nothing (stale or misplaced)",
+				Check:    "lint-directive",
+				Severity: SeverityError,
+				File:     d.file,
+				Line:     d.line,
+				Message:  "lint:ignore directive suppresses nothing (stale or misplaced)",
 			})
 		}
 	}

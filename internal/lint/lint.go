@@ -20,18 +20,58 @@
 package lint
 
 import (
+	"bytes"
 	"fmt"
 	"go/ast"
 	"go/constant"
+	"go/printer"
 	"go/token"
 	"go/types"
 	"strings"
 )
 
+// Severity ranks a finding's gate weight: error findings always fail the
+// build, warn findings fail at the default gate, info findings are
+// advisory.
+type Severity string
+
+const (
+	SeverityError Severity = "error"
+	SeverityWarn  Severity = "warn"
+	SeverityInfo  Severity = "info"
+)
+
+// rank orders severities for gating; unknown severities gate like error
+// so a typo cannot silently soften a check.
+func (s Severity) rank() int {
+	switch s {
+	case SeverityInfo:
+		return 0
+	case SeverityWarn:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// AtLeast reports whether s gates at or above min.
+func (s Severity) AtLeast(min Severity) bool { return s.rank() >= min.rank() }
+
+// Edit is one textual replacement inside a finding's file: the byte
+// range [Start, End) is replaced by New. Offsets are relative to the
+// file's content at analysis time.
+type Edit struct {
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	New   string `json:"new"`
+}
+
 // Finding is one diagnostic produced by an analyzer.
 type Finding struct {
 	// Check is the analyzer name, e.g. "float-eq".
 	Check string `json:"check"`
+	// Severity is the analyzer's gate weight ("error", "warn", "info").
+	Severity Severity `json:"severity"`
 	// File is the path of the offending file (module-root relative when
 	// produced by the driver).
 	File string `json:"file"`
@@ -44,11 +84,20 @@ type Finding struct {
 	// SuppressReason carries the directive's justification.
 	Suppressed     bool   `json:"suppressed,omitempty"`
 	SuppressReason string `json:"suppressReason,omitempty"`
+	// Baselined marks findings matched by the committed baseline file:
+	// known legacy debt that is tracked but does not gate CI.
+	Baselined bool `json:"baselined,omitempty"`
+	// Edits, when non-empty, is a mechanical fix applied by `-fix`.
+	Edits []Edit `json:"edits,omitempty"`
 }
 
-// String renders the canonical "file:line:col: [check] message" form.
+// String renders the canonical "file:line:col: severity [check] message"
+// form (severity omitted when unset, for findings built outside a pass).
 func (f Finding) String() string {
-	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Check, f.Message)
+	if f.Severity == "" {
+		return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Check, f.Message)
+	}
+	return fmt.Sprintf("%s:%d:%d: %s [%s] %s", f.File, f.Line, f.Col, f.Severity, f.Check, f.Message)
 }
 
 // Analyzer is one named check run over a type-checked package.
@@ -57,13 +106,30 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description shown by `spatial-lint -list`.
 	Doc string
+	// Severity is the gate weight of this analyzer's findings;
+	// SeverityError when empty.
+	Severity Severity
 	// AppliesTo reports whether the analyzer runs on the given import
 	// path; nil means every package. The driver additionally runs every
 	// analyzer on packages under the lint testdata corpus so golden
 	// files exercise scoped checks.
 	AppliesTo func(pkgPath string) bool
+	// IncludeTests opts the analyzer into test packages (in-package
+	// _test.go files and external package foo_test files). Resource- and
+	// concurrency-safety checks set it; style/scope checks whose failure
+	// modes only matter in production code leave it false.
+	IncludeTests bool
 	// Run inspects the package and reports findings through the pass.
 	Run func(*Pass)
+}
+
+// EffectiveSeverity resolves the analyzer's gate weight, defaulting to
+// error.
+func (a *Analyzer) EffectiveSeverity() Severity {
+	if a.Severity == "" {
+		return SeverityError
+	}
+	return a.Severity
 }
 
 // Pass carries one analyzer's view of one package.
@@ -81,13 +147,21 @@ type Pass struct {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportEditsf(pos, nil, format, args...)
+}
+
+// ReportEditsf records a finding at pos carrying a mechanical fix that
+// `-fix` can apply.
+func (p *Pass) ReportEditsf(pos token.Pos, edits []Edit, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	*p.findings = append(*p.findings, Finding{
-		Check:   p.Analyzer.Name,
-		File:    position.Filename,
-		Line:    position.Line,
-		Col:     position.Column,
-		Message: fmt.Sprintf(format, args...),
+		Check:    p.Analyzer.Name,
+		Severity: p.Analyzer.EffectiveSeverity(),
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+		Edits:    edits,
 	})
 }
 
@@ -226,4 +300,118 @@ func pathHasAny(path string, segments ...string) bool {
 		}
 	}
 	return false
+}
+
+// ExprString renders an expression to canonical source text, used as a
+// stable intraprocedural key (two syntactically identical receiver
+// expressions in one function denote the same lock).
+func (p *Pass) ExprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, p.Fset, e); err != nil {
+		return fmt.Sprintf("%T@%d", e, e.Pos())
+	}
+	return buf.String()
+}
+
+// Offset maps pos to its byte offset within its file, for building
+// Edits. It returns -1 when the position is unknown.
+func (p *Pass) Offset(pos token.Pos) int {
+	if !pos.IsValid() {
+		return -1
+	}
+	return p.Fset.Position(pos).Offset
+}
+
+// lineIndent returns the leading whitespace of the line containing pos
+// (for splicing new statements that match the surrounding indentation).
+// gofmt indents with tabs, so the column count minus one is the depth.
+func (p *Pass) lineIndent(pos token.Pos) string {
+	position := p.Fset.Position(pos)
+	if position.Column < 1 {
+		return ""
+	}
+	return strings.Repeat("\t", position.Column-1)
+}
+
+// fnBody is one analyzable function: a declaration or a function
+// literal. Flow-sensitive analyzers treat each independently; literal
+// bodies are opaque statements in their enclosing function's CFG.
+type fnBody struct {
+	// Name is the declared name, or "func literal" for literals.
+	Name string
+	// Decl is non-nil for declared functions.
+	Decl *ast.FuncDecl
+	// Lit is non-nil for function literals.
+	Lit *ast.FuncLit
+	// Type is the signature syntax.
+	Type *ast.FuncType
+	// Body is the statement list analyzed.
+	Body *ast.BlockStmt
+}
+
+// functionBodies collects every function declaration and function
+// literal in the package, each as an independently analyzable unit.
+func (p *Pass) functionBodies() []fnBody {
+	var out []fnBody
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					out = append(out, fnBody{Name: n.Name.Name, Decl: n, Type: n.Type, Body: n.Body})
+				}
+			case *ast.FuncLit:
+				out = append(out, fnBody{Name: "func literal", Lit: n, Type: n.Type, Body: n.Body})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// inspectShallow walks n like ast.Inspect but does not descend into
+// function literals, which are separate functions to the flow-sensitive
+// analyzers. When n itself is a *ast.FuncLit it is skipped entirely.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// releaseCaptured invokes release on every identifier referenced inside
+// any function literal under n. Flow-sensitive resource analyzers use it
+// to hand the tracked obligation to closures, which may run after the
+// enclosing function returns.
+func releaseCaptured(n ast.Node, release func(ast.Expr)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		lit, ok := m.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(k ast.Node) bool {
+			if id, isIdent := k.(*ast.Ident); isIdent {
+				release(id)
+			}
+			return true
+		})
+		return false
+	})
+}
+
+// useVar resolves an identifier expression to the variable it names, or
+// nil for non-identifiers and non-variables.
+func (p *Pass) useVar(e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok || p.Info == nil {
+		return nil
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
 }

@@ -9,18 +9,25 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed, and type-checked package.
 type Package struct {
-	// Path is the import path ("repro/internal/ml").
+	// Path is the import path ("repro/internal/ml"). External test
+	// packages carry the compiler's convention ("repro/internal/ml_test").
 	Path string
 	// Dir is the absolute directory holding the sources.
 	Dir string
-	// Files are the parsed non-test sources, sorted by file name.
+	// Files are the parsed sources to analyze, sorted by file name. For
+	// test packages these are the _test.go files only, even though
+	// in-package tests are type-checked together with the base sources.
 	Files []*ast.File
+	// IsTest marks in-package and external test packages.
+	IsTest bool
 	// Types and Info carry the (tolerant) type-check results; Info maps
 	// are always non-nil, but entries may be missing for code that did
 	// not type-check.
@@ -35,20 +42,43 @@ type Package struct {
 // Loader parses and type-checks module packages using only the standard
 // library: module-internal imports are type-checked recursively from
 // source, everything else (the standard library) is delegated to
-// go/importer's source importer.
+// go/importer's source importer. A Loader is safe for concurrent use;
+// each package is type-checked exactly once no matter how many
+// goroutines request it.
 type Loader struct {
 	// Dir is the directory patterns are resolved against; the module
 	// root is discovered from it. Defaults to the working directory.
 	Dir string
+	// Tests additionally loads each matched directory's test packages:
+	// the in-package augmentation (foo + foo's _test.go files) and the
+	// external test package (package foo_test). Directories holding only
+	// test files — skipped entirely before — are matched too.
+	Tests bool
 
 	fset    *token.FileSet
 	modPath string
 	modRoot string
-	std     types.Importer
-	// loaded caches fully processed packages by import path; loading
-	// guards against import cycles (which the compiler rejects anyway).
-	loaded  map[string]*Package
-	loading map[string]bool
+
+	initOnce sync.Once
+	initErr  error
+
+	std   types.Importer
+	stdMu sync.Mutex // go/importer's source importer is not documented as concurrency-safe
+
+	// entries caches package loads by import path. The first goroutine to
+	// request a path installs an entry and loads; later ones wait on done.
+	mu      sync.Mutex
+	entries map[string]*loadEntry
+	// checks counts types.Config.Check invocations per cache key, so
+	// tests can assert shared dependencies are type-checked once.
+	checks map[string]int
+}
+
+// loadEntry is one in-flight or completed package load.
+type loadEntry struct {
+	done chan struct{}
+	pkg  *Package
+	err  error
 }
 
 // ModuleRoot walks upward from dir to the directory holding go.mod.
@@ -86,42 +116,65 @@ func modulePath(gomod string) (string, error) {
 
 // init prepares the loader on first use.
 func (l *Loader) init() error {
-	if l.fset != nil {
-		return nil
-	}
-	dir := l.Dir
-	if dir == "" {
-		dir = "."
-	}
-	root, err := ModuleRoot(dir)
-	if err != nil {
-		return err
-	}
-	mod, err := modulePath(filepath.Join(root, "go.mod"))
-	if err != nil {
-		return err
-	}
-	abs, err := filepath.Abs(dir)
-	if err != nil {
-		return err
-	}
-	l.Dir = abs
-	l.modRoot = root
-	l.modPath = mod
-	l.fset = token.NewFileSet()
-	l.std = importer.ForCompiler(l.fset, "source", nil)
-	l.loaded = make(map[string]*Package)
-	l.loading = make(map[string]bool)
-	return nil
+	l.initOnce.Do(func() {
+		dir := l.Dir
+		if dir == "" {
+			dir = "."
+		}
+		root, err := ModuleRoot(dir)
+		if err != nil {
+			l.initErr = err
+			return
+		}
+		mod, err := modulePath(filepath.Join(root, "go.mod"))
+		if err != nil {
+			l.initErr = err
+			return
+		}
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			l.initErr = err
+			return
+		}
+		l.Dir = abs
+		l.modRoot = root
+		l.modPath = mod
+		l.fset = token.NewFileSet()
+		l.std = importer.ForCompiler(l.fset, "source", nil)
+		l.entries = make(map[string]*loadEntry)
+		l.checks = make(map[string]int)
+	})
+	return l.initErr
 }
 
 // Fset exposes the loader's file set for rendering positions.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
+// CheckCounts reports how many times each cache key was type-checked
+// since the loader was created. Base packages are keyed by import path;
+// test augmentations carry a " [test]" or "_test" suffix.
+func (l *Loader) CheckCounts() map[string]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int, len(l.checks))
+	for k, v := range l.checks {
+		out[k] = v
+	}
+	return out
+}
+
+func (l *Loader) countCheck(key string) {
+	l.mu.Lock()
+	l.checks[key]++
+	l.mu.Unlock()
+}
+
 // Load resolves patterns ("./...", "./internal/ml", absolute or relative
 // directories) into parsed, type-checked packages. Directories named
 // "testdata" or starting with "." or "_" are skipped during "..."
-// expansion but honored when named directly.
+// expansion but honored when named directly. With Tests set, each
+// directory may yield up to three packages: the base package, the
+// in-package test augmentation, and the external _test package.
 func (l *Loader) Load(patterns []string) ([]*Package, error) {
 	if err := l.init(); err != nil {
 		return nil, err
@@ -130,17 +183,51 @@ func (l *Loader) Load(patterns []string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	pkgs := make([]*Package, 0, len(dirs))
-	for _, dir := range dirs {
-		pkg, err := l.loadDir(dir)
-		if err != nil {
-			return nil, err
-		}
-		if pkg != nil && len(pkg.Files) > 0 {
-			pkgs = append(pkgs, pkg)
-		}
+	// Load root directories in parallel: the per-path cache guarantees
+	// each package is still type-checked once, and shared dependencies
+	// are awaited rather than redone.
+	perDir := make([][]*Package, len(dirs))
+	errs := make([]error, len(dirs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, dir := range dirs {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			base, err := l.loadDir(dir)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if base != nil && len(base.Files) > 0 {
+				perDir[i] = append(perDir[i], base)
+			}
+			if l.Tests {
+				tests, err := l.loadTestPackages(dir, base)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				perDir[i] = append(perDir[i], tests...)
+			}
+		}(i, dir)
 	}
-	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	wg.Wait()
+	var pkgs []*Package
+	for i := range dirs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		pkgs = append(pkgs, perDir[i]...)
+	}
+	sort.Slice(pkgs, func(i, j int) bool {
+		if pkgs[i].Path != pkgs[j].Path {
+			return pkgs[i].Path < pkgs[j].Path
+		}
+		return !pkgs[i].IsTest && pkgs[j].IsTest
+	})
 	return pkgs, nil
 }
 
@@ -194,7 +281,10 @@ func (l *Loader) expand(patterns []string) ([]string, error) {
 			}
 			matches, _ := filepath.Glob(filepath.Join(p, "*.go"))
 			for _, m := range matches {
-				if !strings.HasSuffix(m, "_test.go") {
+				// A directory with only _test.go files is still a package
+				// worth analyzing when tests are in scope (the repo root's
+				// external benchmark package is exactly this shape).
+				if l.Tests || !strings.HasSuffix(m, "_test.go") {
 					add(p)
 					break
 				}
@@ -222,29 +312,140 @@ func (l *Loader) importPathFor(dir string) (string, error) {
 	return l.modPath + "/" + filepath.ToSlash(rel), nil
 }
 
-// loadDir parses and type-checks the package in dir (nil when the
-// directory holds no non-test Go files).
+// loadDir parses and type-checks the package in dir (Files is empty when
+// the directory holds no non-test Go files).
 func (l *Loader) loadDir(dir string) (*Package, error) {
 	path, err := l.importPathFor(dir)
 	if err != nil {
 		return nil, err
 	}
-	return l.loadPath(path, dir)
+	return l.loadPath(path, dir, nil)
 }
 
-// loadPath is the cached package load; the importer below funnels
-// module-internal imports through it so every package is type-checked
-// exactly once per loader.
-func (l *Loader) loadPath(path, dir string) (*Package, error) {
-	if pkg, ok := l.loaded[path]; ok {
+// loadPath is the cached, concurrency-safe package load; the importer
+// below funnels module-internal imports through it so every package is
+// type-checked exactly once per loader. chain carries the import path
+// stack of the requesting type-check for cycle detection.
+func (l *Loader) loadPath(path, dir string, chain []string) (*Package, error) {
+	for _, p := range chain {
+		if p == path {
+			return nil, fmt.Errorf("lint: import cycle: %s -> %s", strings.Join(chain, " -> "), path)
+		}
+	}
+	l.mu.Lock()
+	if e, ok := l.entries[path]; ok {
+		l.mu.Unlock()
+		// Wait for a concurrent load of the same path. Valid Go import
+		// graphs are DAGs, so waiting cannot deadlock across goroutines;
+		// same-goroutine cycles were caught by the chain check above.
+		<-e.done
+		return e.pkg, e.err
+	}
+	e := &loadEntry{done: make(chan struct{})}
+	l.entries[path] = e
+	l.mu.Unlock()
+
+	e.pkg, e.err = l.doLoad(path, dir, chain)
+	close(e.done)
+	return e.pkg, e.err
+}
+
+// doLoad performs the uncached parse + type-check for one package.
+func (l *Loader) doLoad(path, dir string, chain []string) (*Package, error) {
+	files, err := l.parseDir(dir, func(name string) bool {
+		return !strings.HasSuffix(name, "_test.go")
+	})
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files}
+	if len(files) == 0 {
 		return pkg, nil
 	}
-	if l.loading[path] {
-		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	pkg.Info = newInfo()
+	conf := types.Config{
+		Importer: &moduleImporter{l: l, chain: append(chain, path)},
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
 	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
+	// Tolerant check: Check returns the (possibly incomplete) package
+	// even on error; analyzers fall back to syntax where Info is sparse.
+	l.countCheck(path)
+	tpkg, _ := conf.Check(path, l.fset, files, pkg.Info)
+	pkg.Types = tpkg
+	return pkg, nil
+}
 
+// loadTestPackages loads the test packages for dir: the in-package
+// augmentation (base sources + same-package _test.go files, with
+// findings reported only for the test files) and the external
+// package_test package. base may be nil or file-less for directories
+// holding only tests.
+func (l *Loader) loadTestPackages(dir string, base *Package) ([]*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	testFiles, err := l.parseDir(dir, func(name string) bool {
+		return strings.HasSuffix(name, "_test.go")
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(testFiles) == 0 {
+		return nil, nil
+	}
+	var inPkg, extPkg []*ast.File
+	for _, f := range testFiles {
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			extPkg = append(extPkg, f)
+		} else {
+			inPkg = append(inPkg, f)
+		}
+	}
+	var out []*Package
+	if len(inPkg) > 0 {
+		// Type-check base and test sources together so test files see the
+		// package's unexported declarations, but analyze only the tests —
+		// the base package already had its own pass.
+		all := inPkg
+		if base != nil {
+			all = append(append([]*ast.File{}, base.Files...), inPkg...)
+		}
+		pkg, err := l.checkFiles(path, path+" [test]", dir, all)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = inPkg
+		pkg.IsTest = true
+		out = append(out, pkg)
+	}
+	if len(extPkg) > 0 {
+		pkg, err := l.checkFiles(path+"_test", path+"_test", dir, extPkg)
+		if err != nil {
+			return nil, err
+		}
+		pkg.IsTest = true
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// checkFiles type-checks an ad-hoc file list under the given import path
+// (test packages are never imported, so they bypass the cache).
+func (l *Loader) checkFiles(path, key, dir string, files []*ast.File) (*Package, error) {
+	pkg := &Package{Path: path, Dir: dir, Files: files, Info: newInfo()}
+	conf := types.Config{
+		Importer: &moduleImporter{l: l, chain: []string{key}},
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	l.countCheck(key)
+	tpkg, _ := conf.Check(path, l.fset, files, pkg.Info)
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// parseDir parses the Go files in dir matching keep, sorted by name.
+func (l *Loader) parseDir(dir string, keep func(name string) bool) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -252,49 +453,44 @@ func (l *Loader) loadPath(path, dir string) (*Package, error) {
 	var files []*ast.File
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || !keep(name) {
 			continue
 		}
+		// token.FileSet and the parser are safe for concurrent use with a
+		// shared fset.
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint: %w", err)
 		}
 		files = append(files, f)
 	}
-	pkg := &Package{Path: path, Dir: dir, Files: files}
-	if len(files) == 0 {
-		l.loaded[path] = pkg
-		return pkg, nil
-	}
-	pkg.Info = &types.Info{
+	return files, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
-	conf := types.Config{
-		Importer: &moduleImporter{l: l},
-		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
-	}
-	// Tolerant check: Check returns the (possibly incomplete) package
-	// even on error; analyzers fall back to syntax where Info is sparse.
-	tpkg, _ := conf.Check(path, l.fset, files, pkg.Info)
-	pkg.Types = tpkg
-	l.loaded[path] = pkg
-	return pkg, nil
 }
 
 // moduleImporter resolves module-internal import paths from source via
 // the loader and delegates everything else to the standard library's
-// source importer.
-type moduleImporter struct{ l *Loader }
+// source importer. chain records the import stack of the type-check it
+// serves, for cycle reporting.
+type moduleImporter struct {
+	l     *Loader
+	chain []string
+}
 
 func (m *moduleImporter) Import(path string) (*types.Package, error) {
 	l := m.l
 	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
 		dir := filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(path, l.modPath)))
-		pkg, err := l.loadPath(path, dir)
+		pkg, err := l.loadPath(path, dir, m.chain)
 		if err != nil {
 			return nil, err
 		}
@@ -303,5 +499,7 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 		}
 		return pkg.Types, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.Import(path)
 }

@@ -1,0 +1,27 @@
+package fixcorpus
+
+import (
+	"time"
+
+	"repro/internal/clock"
+)
+
+// stamp and friends read the wall clock directly; the fixes route each
+// call through clock.Real(), keeping behavior identical but the time
+// source swappable.
+func stamp() time.Time {
+	return time.Now()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func waitBriefly(d time.Duration) {
+	<-time.After(d)
+}
+
+// injected already uses the seam; untouched by the fixes.
+func injected(c clock.Clock) time.Time {
+	return c.Now()
+}

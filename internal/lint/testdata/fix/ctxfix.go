@@ -1,0 +1,19 @@
+// Package fixcorpus exercises the -fix pipeline: every finding in this
+// package carries a mechanical edit, and applying them all must leave
+// the package lint-clean. The round-trip test copies these files into a
+// scratch directory before patching them.
+package fixcorpus
+
+import "context"
+
+// fetch leaks its cancel on the skip path; the fix inserts defer
+// cancel() right after the acquisition.
+func fetch(parent context.Context, skip bool) error {
+	ctx, cancel := context.WithCancel(parent)
+	if skip {
+		return nil
+	}
+	<-ctx.Done()
+	cancel()
+	return nil
+}

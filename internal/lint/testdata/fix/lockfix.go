@@ -1,0 +1,17 @@
+package fixcorpus
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bump locks and never releases; the fix defers the unlock right after
+// the acquisition (safe here because nothing else in the function
+// unlocks).
+func (c *counter) bump() int {
+	c.mu.Lock()
+	c.n++
+	return c.n
+}

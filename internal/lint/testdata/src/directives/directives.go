@@ -9,10 +9,10 @@ import "time"
 // and the time.Now finding survives.
 func BadWaiver() time.Time {
 	//lint:ignore nondeterminism
-	return time.Now() // want "time.Now\(\) in a seed-critical package"
+	return time.Now() // want "time.Now\(\) in a seed-critical package" "time.Now bypasses internal/clock"
 }
 
 // GoodWaiver is well-formed for contrast; nothing reported.
 func GoodWaiver() time.Time {
-	return time.Now() //lint:ignore nondeterminism corpus demo of a complete directive
+	return time.Now() //lint:ignore nondeterminism,wall-clock corpus demo of a complete directive
 }

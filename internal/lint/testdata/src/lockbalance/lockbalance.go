@@ -1,0 +1,75 @@
+// Package lockbalance is spatial-lint golden-corpus input for the
+// lock-balance dataflow analyzer: a mutex acquired on entry must be
+// released on every path out of the function.
+package lockbalance
+
+import (
+	"errors"
+	"sync"
+)
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data map[string]int
+}
+
+var errMissing = errors.New("missing")
+
+// LeakOnError forgets the unlock on the early-return path.
+func (s *store) LeakOnError(k string) error {
+	s.mu.Lock() // want "s.mu locked here is not released on every path"
+	if _, ok := s.data[k]; !ok {
+		return errMissing
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// DeferBalanced is the canonical shape; nothing reported.
+func (s *store) DeferBalanced(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.data[k]
+}
+
+// BranchBalanced releases manually on both arms; nothing reported.
+func (s *store) BranchBalanced(k string) (int, error) {
+	s.mu.Lock()
+	v, ok := s.data[k]
+	if !ok {
+		s.mu.Unlock()
+		return 0, errMissing
+	}
+	s.mu.Unlock()
+	return v, nil
+}
+
+// ReadLeak leaks the read lock on the found path.
+func (s *store) ReadLeak(k string) (int, bool) {
+	s.rw.RLock() // want "s.rw locked here is not released on every path"
+	if v, ok := s.data[k]; ok {
+		return v, true
+	}
+	s.rw.RUnlock()
+	return 0, false
+}
+
+// PanicExitIsNotALeak: paths ending in panic are excluded, so a helper
+// that locks then asserts is clean.
+func (s *store) PanicExitIsNotALeak(k string) int {
+	s.mu.Lock()
+	v, ok := s.data[k]
+	if !ok {
+		panic("corpus: must exist")
+	}
+	s.mu.Unlock()
+	return v
+}
+
+// Waived shows the suppression syntax for a hand-verified pattern.
+func (s *store) Waived() {
+	s.mu.Lock() //lint:ignore lock-balance unlocked by the paired finish() helper
+}
+
+func (s *store) finish() { s.mu.Unlock() }

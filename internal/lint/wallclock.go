@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AnalyzerWallClock flags direct wall-clock reads and timers (time.Now,
+// time.Sleep, time.After, ...) in the packages that committed to the
+// internal/clock injection surface (sensor, loadgen, serving, service).
+// Those packages' tests drive schedules with clock.Fake; one raw time
+// call reintroduces scheduler-load-dependent timing and flaky latency
+// assertions. Referencing `time.Now` as a value (the `now: time.Now`
+// default-field idiom) is the sanctioned injection point and is not
+// flagged — only calls are. Where the file already imports
+// internal/clock, Now/Since/After calls carry a mechanical fix routing
+// them through clock.Real(), which behaves identically but keeps every
+// time source swappable and grep-able.
+var AnalyzerWallClock = &Analyzer{
+	Name:     "wall-clock",
+	Doc:      "flags direct time.Now/Sleep/After/... calls in packages that must route through internal/clock",
+	Severity: SeverityWarn,
+	AppliesTo: func(path string) bool {
+		return pathHasAny(path, "internal/sensor", "internal/loadgen", "internal/serving", "internal/service")
+	},
+	Run: runWallClock,
+}
+
+// wallClockFuncs are the flagged time package calls; the value says
+// whether clock.Clock offers a drop-in replacement for the autofix.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"After":     true,
+	"Sleep":     false, // no Clock.Sleep; select on Clock.After instead
+	"Tick":      false,
+	"AfterFunc": false,
+	"NewTicker": false, // clock.Ticker's C is a method, not a field
+	"NewTimer":  false,
+	"Until":     false,
+}
+
+func runWallClock(p *Pass) {
+	for _, file := range p.Files {
+		clockName := clockImportName(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := p.PkgFunc(call)
+			if !ok || path != "time" {
+				return true
+			}
+			fixable, flagged := wallClockFuncs[name]
+			if !flagged {
+				return true
+			}
+			var edits []Edit
+			if fixable && clockName != "" {
+				// time.Now() -> clock.Real().Now(): replace the selector,
+				// keep the arguments.
+				sel := call.Fun.(*ast.SelectorExpr)
+				start, end := p.Offset(sel.Pos()), p.Offset(sel.End())
+				if start >= 0 && end >= start {
+					edits = []Edit{{Start: start, End: end, New: clockName + ".Real()." + name}}
+				}
+			}
+			p.ReportEditsf(call.Pos(), edits,
+				"time.%s bypasses internal/clock; thread a clock.Clock (clock.Real() in production) so tests can fake time", name)
+			return true
+		})
+	}
+}
+
+// clockImportName returns the local name binding internal/clock in the
+// file ("" when the package is not imported).
+func clockImportName(f *ast.File) string {
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if !strings.HasSuffix(path, "internal/clock") {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		return "clock"
+	}
+	return ""
+}

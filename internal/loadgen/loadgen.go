@@ -209,8 +209,8 @@ type Summary struct {
 	// hint rather than queueing. A saturated-but-shedding service shows
 	// a high Shed with a flat latency profile; a collapsing one shows
 	// few Sheds and exploding percentiles.
-	Shed      int     `json:"shed"`
-	ErrorRate float64 `json:"errorRate"`
+	Shed       int           `json:"shed"`
+	ErrorRate  float64       `json:"errorRate"`
 	Mean       time.Duration `json:"meanNs"`
 	Min        time.Duration `json:"minNs"`
 	Max        time.Duration `json:"maxNs"`

@@ -69,7 +69,7 @@ func (p *RetryPolicy) attempts() int {
 }
 
 func (p *RetryPolicy) clk() clock.Clock {
-	if p.Clock == nil {
+	if p == nil || p.Clock == nil {
 		return clock.Real()
 	}
 	return p.Clock
@@ -329,8 +329,11 @@ func (c *Client) Healthz(ctx context.Context) (Health, error) {
 }
 
 // WaitHealthy polls /healthz until it responds or the deadline passes.
+// The poll schedule runs on the retry policy's clock, so tests with a
+// fake clock can step through it without real sleeps.
 func (c *Client) WaitHealthy(ctx context.Context, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	clk := c.Retry.clk()
+	deadline := clk.Now().Add(timeout)
 	for {
 		hctx, cancel := context.WithTimeout(ctx, 500*time.Millisecond)
 		_, err := c.Healthz(hctx)
@@ -338,13 +341,13 @@ func (c *Client) WaitHealthy(ctx context.Context, timeout time.Duration) error {
 		if err == nil {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		if clk.Now().After(deadline) {
 			return fmt.Errorf("service at %s not healthy after %v: %w", c.BaseURL, timeout, err)
 		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(50 * time.Millisecond):
+		case <-clk.After(50 * time.Millisecond):
 		}
 	}
 }

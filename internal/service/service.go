@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/dataset"
 	"repro/internal/telemetry"
 )
@@ -153,6 +154,7 @@ type base struct {
 	name    string
 	mux     *http.ServeMux
 	stats   Stats
+	clk     clock.Clock
 	started time.Time
 	tel     *telemetry.Registry
 	tracer  *telemetry.Tracer
@@ -162,11 +164,13 @@ func newBase(name string) *base {
 	tel := telemetry.NewRegistry()
 	telemetry.RegisterRuntimeMetrics(tel)
 	tracer := telemetry.NewTracer(512)
+	clk := clock.Real()
 	b := &base{
 		name:    name,
 		mux:     http.NewServeMux(),
 		stats:   Stats{reg: tel},
-		started: time.Now(),
+		clk:     clk,
+		started: clk.Now(),
 		tel:     tel,
 		tracer:  tracer,
 	}
@@ -174,7 +178,7 @@ func newBase(name string) *base {
 		writeJSON(w, http.StatusOK, Health{
 			Service: b.name,
 			Status:  "ok",
-			UptimeS: int64(time.Since(b.started).Seconds()),
+			UptimeS: int64(b.clk.Since(b.started).Seconds()),
 		})
 	})
 	b.handle("GET /stats", func(w http.ResponseWriter, r *http.Request) {

@@ -100,8 +100,10 @@ func TestMetricsExposedOnEveryTier(t *testing.T) {
 	front := httptest.NewServer(gw)
 	defer front.Close()
 
-	if _, err := http.Get(front.URL + "/shap/healthz"); err != nil {
+	if resp, err := http.Get(front.URL + "/shap/healthz"); err != nil {
 		t.Fatal(err)
+	} else {
+		_ = resp.Body.Close()
 	}
 
 	scrape := func(url string) string {
