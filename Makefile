@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fix lint-fix-dry lint-baseline test test-short race bench bench-smoke fuzz experiments experiments-quick examples clean
+.PHONY: all build vet lint lint-fix lint-fix-dry lint-baseline lint-sarif lint-graph test test-short race bench bench-smoke fuzz experiments experiments-quick examples clean
 
 all: build vet lint test
 
@@ -32,6 +32,16 @@ lint-fix-dry:
 # CI gates only on regressions. Review the diff before committing.
 lint-baseline:
 	$(GO) run ./cmd/spatial-lint -write-baseline -baseline .lint-baseline.json ./...
+
+# Export the run as SARIF 2.1.0 (lint.sarif) for code-scanning UIs; the
+# exit code still gates exactly like `make lint`.
+lint-sarif:
+	$(GO) run ./cmd/spatial-lint -baseline .lint-baseline.json -sarif lint.sarif ./...
+
+# Dump the whole-module interprocedural call graph as Graphviz DOT:
+# render with `dot -Tsvg callgraph.dot -o callgraph.svg`.
+lint-graph:
+	$(GO) run ./cmd/spatial-lint -baseline .lint-baseline.json -graph callgraph.dot ./...
 
 test:
 	$(GO) test ./...

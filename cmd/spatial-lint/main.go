@@ -3,10 +3,12 @@
 // fixed-seed experiment packages, telemetry label-cardinality bounds,
 // trace-context propagation across the serving tiers, float-equality
 // discipline in the numeric kernels, goroutine lifecycle hygiene,
-// unchecked I/O errors on the server edges, and the flow-sensitive
+// unchecked I/O errors on the server edges, the flow-sensitive
 // checks (lock balance, response-body and context-cancel leaks,
 // wall-clock bypasses, append aliasing) built on the CFG dataflow
-// engine.
+// engine, and the interprocedural checks (lock-order cycles, taint
+// paths into filesystem sinks, hot-path allocations) built on the
+// whole-module call graph and its per-function summaries.
 //
 // Usage:
 //
@@ -28,7 +30,10 @@
 // cancel()`, swap time.Now() for the injected clock, defer an unpaired
 // Unlock); -diff prints those fixes as a unified diff without writing.
 // -write-baseline records the current findings into the baseline file so
-// a new check can land as error without blocking CI on legacy debt.
+// a new check can land as error without blocking CI on legacy debt;
+// -baseline-prune drops entries no current finding consumes. -sarif
+// exports the run as SARIF 2.1.0 for CI annotation, and -graph dumps
+// the interprocedural call graph as Graphviz DOT.
 package main
 
 import (
@@ -53,6 +58,9 @@ func main() {
 		writeBase  = flag.Bool("write-baseline", false, "rewrite the baseline file from the current findings and exit")
 		fix        = flag.Bool("fix", false, "apply the mechanical fixes carried by findings")
 		diff       = flag.Bool("diff", false, "print the fixes as a diff without writing files")
+		sarifOut   = flag.String("sarif", "", "write the run as SARIF 2.1.0 to this file (\"-\" for stdout)")
+		graphOut   = flag.String("graph", "", "write the call graph as Graphviz DOT to this file (\"-\" for stdout)")
+		pruneBase  = flag.Bool("baseline-prune", false, "rewrite the baseline without entries that absorb no current finding")
 	)
 	flag.Parse()
 
@@ -79,11 +87,39 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	res, err := lint.RunOpts(*dir, lint.Options{
+
+	// openOut resolves an output-path flag: "-" is stdout, anything else
+	// is created (closed on exit via the returned func).
+	openOut := func(path string) (*os.File, func()) {
+		if path == "-" {
+			return os.Stdout, func() {}
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		return f, func() {
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}
+	}
+
+	opts := lint.Options{
 		Patterns:  flag.Args(),
 		Analyzers: analyzers,
 		Tests:     *tests,
-	})
+	}
+	var closeGraph func()
+	if *graphOut != "" {
+		var gw *os.File
+		gw, closeGraph = openOut(*graphOut)
+		opts.Graph = gw
+	}
+	res, err := lint.RunOpts(*dir, opts)
+	if closeGraph != nil {
+		closeGraph()
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -102,6 +138,33 @@ func main() {
 		fail(err)
 	}
 	res.ApplyBaseline(base)
+
+	// Stale entries are budget a regression could silently spend: report
+	// them on every run, rewrite the file when asked.
+	if stale := res.StaleBaseline(base); len(stale) > 0 {
+		if *pruneBase {
+			pruned := base.Prune(stale)
+			if err := pruned.Write(*baseline); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "spatial-lint: pruned %d stale entries from %s (%d remain)\n",
+				len(stale), *baseline, len(pruned.Entries))
+		} else {
+			for _, e := range stale {
+				fmt.Fprintf(os.Stderr, "spatial-lint: stale baseline entry (no current finding): %s %s %q\n",
+					e.Check, e.File, e.Message)
+			}
+			fmt.Fprintf(os.Stderr, "spatial-lint: %d stale baseline entries; rerun with -baseline-prune to drop them\n", len(stale))
+		}
+	}
+
+	if *sarifOut != "" {
+		sw, closeSarif := openOut(*sarifOut)
+		if err := res.WriteSARIF(sw); err != nil {
+			fail(err)
+		}
+		closeSarif()
+	}
 
 	if *fix || *diff {
 		patches, err := lint.BuildPatches(*dir, res.Findings)

@@ -18,6 +18,21 @@ type BaselineEntry struct {
 	Check   string `json:"check"`
 	File    string `json:"file"`
 	Message string `json:"message"`
+	// Reason documents why the finding is accepted rather than fixed.
+	// It is not part of the match fingerprint: rewording a justification
+	// must never change what the baseline absorbs.
+	Reason string `json:"reason,omitempty"`
+}
+
+// baselineKey is the match fingerprint of an entry (Reason excluded).
+type baselineKey struct {
+	Check   string
+	File    string
+	Message string
+}
+
+func (e BaselineEntry) key() baselineKey {
+	return baselineKey{Check: e.Check, File: e.File, Message: e.Message}
 }
 
 // Baseline is the committed set of accepted findings gating CI: a run
@@ -58,7 +73,10 @@ func (b *Baseline) Write(path string) error {
 		if a.Check != c.Check {
 			return a.Check < c.Check
 		}
-		return a.Message < c.Message
+		if a.Message != c.Message {
+			return a.Message < c.Message
+		}
+		return a.Reason < c.Reason
 	})
 	out := Baseline{Entries: entries}
 	data, err := json.MarshalIndent(&out, "", "  ")
@@ -85,19 +103,64 @@ func (r *Result) ApplyBaseline(b *Baseline) {
 	if b == nil || len(b.Entries) == 0 {
 		return
 	}
-	budget := make(map[BaselineEntry]int, len(b.Entries))
+	budget := make(map[baselineKey]int, len(b.Entries))
 	for _, e := range b.Entries {
-		budget[e]++
+		budget[e.key()]++
 	}
 	for i := range r.Findings {
 		f := &r.Findings[i]
 		if f.Suppressed {
 			continue
 		}
-		key := BaselineEntry{Check: f.Check, File: f.File, Message: f.Message}
+		key := baselineKey{Check: f.Check, File: f.File, Message: f.Message}
 		if budget[key] > 0 {
 			budget[key]--
 			f.Baselined = true
 		}
 	}
+}
+
+// StaleBaseline returns the entries of b that absorbed no finding in the
+// run — debt that has since been fixed (or a fingerprint that rotted).
+// Stale entries should be pruned: a dead entry is budget a regression
+// could silently spend. Call after ApplyBaseline; with two entries
+// sharing a fingerprint and one matching finding, one entry is stale.
+func (r *Result) StaleBaseline(b *Baseline) []BaselineEntry {
+	if b == nil || len(b.Entries) == 0 {
+		return nil
+	}
+	consumed := make(map[baselineKey]int)
+	for _, f := range r.Findings {
+		if f.Baselined {
+			consumed[baselineKey{Check: f.Check, File: f.File, Message: f.Message}]++
+		}
+	}
+	var stale []BaselineEntry
+	for _, e := range b.Entries {
+		k := e.key()
+		if consumed[k] > 0 {
+			consumed[k]--
+			continue
+		}
+		stale = append(stale, e)
+	}
+	return stale
+}
+
+// Prune returns a copy of b without the given entries (each removal
+// consumes one occurrence, matched on the full entry including reason).
+func (b *Baseline) Prune(remove []BaselineEntry) *Baseline {
+	drop := make(map[BaselineEntry]int, len(remove))
+	for _, e := range remove {
+		drop[e]++
+	}
+	out := &Baseline{}
+	for _, e := range b.Entries {
+		if drop[e] > 0 {
+			drop[e]--
+			continue
+		}
+		out.Entries = append(out.Entries, e)
+	}
+	return out
 }

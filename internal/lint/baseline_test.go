@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func bf(check, file, msg string) Finding {
+	return Finding{Check: check, Severity: SeverityInfo, File: file, Line: 1, Message: msg}
+}
+
+// TestBaselineOccurrenceBudget: each entry absorbs exactly one finding
+// occurrence; a duplicated defect overflows the budget and stays gating.
+func TestBaselineOccurrenceBudget(t *testing.T) {
+	res := &Result{Findings: []Finding{
+		bf("hotpath-alloc", "a.go", "make on the hot path"),
+		bf("hotpath-alloc", "a.go", "make on the hot path"),
+	}}
+	base := &Baseline{Entries: []BaselineEntry{
+		{Check: "hotpath-alloc", File: "a.go", Message: "make on the hot path"},
+	}}
+	res.ApplyBaseline(base)
+	if got := len(res.Gating(SeverityInfo)); got != 1 {
+		t.Fatalf("gating findings = %d, want 1 (second occurrence overflows the budget)", got)
+	}
+	if stale := res.StaleBaseline(base); len(stale) != 0 {
+		t.Fatalf("stale entries = %v, want none (the entry absorbed a finding)", stale)
+	}
+
+	// Two entries for the same fingerprint absorb two findings.
+	res2 := &Result{Findings: []Finding{
+		bf("hotpath-alloc", "a.go", "make on the hot path"),
+		bf("hotpath-alloc", "a.go", "make on the hot path"),
+	}}
+	base2 := &Baseline{Entries: append(append([]BaselineEntry{}, base.Entries...), base.Entries...)}
+	res2.ApplyBaseline(base2)
+	if got := len(res2.Gating(SeverityInfo)); got != 0 {
+		t.Fatalf("gating findings = %d, want 0 with a doubled budget", got)
+	}
+}
+
+// TestBaselineStaleDetection: entries whose finding disappeared are
+// reported, with per-entry granularity when fingerprints are shared.
+func TestBaselineStaleDetection(t *testing.T) {
+	res := &Result{Findings: []Finding{
+		bf("hotpath-alloc", "a.go", "make on the hot path"),
+	}}
+	base := &Baseline{Entries: []BaselineEntry{
+		{Check: "hotpath-alloc", File: "a.go", Message: "make on the hot path"},
+		{Check: "hotpath-alloc", File: "a.go", Message: "make on the hot path", Reason: "second occurrence since fixed"},
+		{Check: "float-eq", File: "gone.go", Message: "== on float64"},
+	}}
+	res.ApplyBaseline(base)
+	stale := res.StaleBaseline(base)
+	if len(stale) != 2 {
+		t.Fatalf("stale entries = %d, want 2 (budget underflow + removed file)", len(stale))
+	}
+
+	pruned := base.Prune(stale)
+	if len(pruned.Entries) != 1 {
+		t.Fatalf("pruned baseline has %d entries, want 1", len(pruned.Entries))
+	}
+	if pruned.Entries[0].Check != "hotpath-alloc" || pruned.Entries[0].Reason != "" {
+		t.Fatalf("prune removed the wrong entry: %+v", pruned.Entries[0])
+	}
+}
+
+// TestBaselineReasonNotInFingerprint: rewording a justification must not
+// change what the baseline absorbs.
+func TestBaselineReasonNotInFingerprint(t *testing.T) {
+	res := &Result{Findings: []Finding{
+		bf("hotpath-alloc", "a.go", "make on the hot path"),
+	}}
+	base := &Baseline{Entries: []BaselineEntry{
+		{Check: "hotpath-alloc", File: "a.go", Message: "make on the hot path", Reason: "the caller owns the row"},
+	}}
+	res.ApplyBaseline(base)
+	if !res.Findings[0].Baselined {
+		t.Fatal("reasoned entry failed to absorb the matching finding")
+	}
+}
+
+// TestBaselineReasonRoundTrip: write, reload, and keep reasons intact
+// with stable ordering.
+func TestBaselineReasonRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	base := &Baseline{Entries: []BaselineEntry{
+		{Check: "b-check", File: "b.go", Message: "m", Reason: "why"},
+		{Check: "a-check", File: "a.go", Message: "m"},
+	}}
+	if err := base.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 2 || got.Entries[0].File != "a.go" || got.Entries[1].Reason != "why" {
+		t.Fatalf("round trip mangled entries: %+v", got.Entries)
+	}
+}

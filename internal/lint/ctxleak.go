@@ -14,7 +14,9 @@ import (
 // under sustained traffic. Forward may-be-live dataflow: the assignment
 // tracks the cancel variable; calling it, deferring it, passing it,
 // storing it, or returning it releases the obligation. A cancel bound to
-// the blank identifier is reported immediately. The finding carries a
+// the blank identifier is reported immediately. With the whole-program
+// view, handing cancel to a helper whose summary proves it ignores the
+// argument does not discharge the obligation. The finding carries a
 // mechanical fix: insert `defer cancel()` right after the acquisition
 // (context.CancelFunc is idempotent, so the insertion is always safe).
 var AnalyzerCtxLeak = &Analyzer{
@@ -22,6 +24,7 @@ var AnalyzerCtxLeak = &Analyzer{
 	Doc:          "flags context cancel functions not called on every path out of the function",
 	Severity:     SeverityError,
 	IncludeTests: true,
+	NeedsProgram: true,
 	Run:          runCtxLeak,
 }
 
@@ -117,9 +120,14 @@ func checkCtxLeak(p *Pass, fn fnBody) {
 		walk(node, func(m ast.Node) bool {
 			switch m := m.(type) {
 			case *ast.CallExpr:
-				// cancel() called, or cancel passed along.
+				// cancel() called, or cancel passed along — unless the
+				// callee's summary proves it ignores the argument, in which
+				// case the handoff cannot discharge the obligation.
 				release(m.Fun)
-				for _, arg := range m.Args {
+				for i, arg := range m.Args {
+					if argIgnored(p, m, i) {
+						continue
+					}
 					release(arg)
 				}
 			case *ast.ReturnStmt:
@@ -133,9 +141,13 @@ func checkCtxLeak(p *Pass, fn fnBody) {
 				}
 			case *ast.GoStmt:
 				// go cancelLater(cancel) — arguments are evaluated here;
-				// the spawned goroutine owns the obligation.
+				// the spawned goroutine owns the obligation, unless it
+				// provably never touches the argument.
 				release(m.Call.Fun)
-				for _, arg := range m.Call.Args {
+				for i, arg := range m.Call.Args {
+					if argIgnored(p, m.Call, i) {
+						continue
+					}
 					release(arg)
 				}
 			}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"fmt"
+	"io"
 	"path/filepath"
 	"runtime"
 	"sort"
@@ -18,8 +19,11 @@ func Analyzers() []*Analyzer {
 		AnalyzerCtxPropagation,
 		AnalyzerFloatEq,
 		AnalyzerGoroutineLeak,
+		AnalyzerHotPathAlloc,
 		AnalyzerLockBalance,
+		AnalyzerLockOrder,
 		AnalyzerNondeterminism,
+		AnalyzerTaintPath,
 		AnalyzerTelemetryCardinality,
 		AnalyzerUncheckedErr,
 		AnalyzerWallClock,
@@ -79,6 +83,9 @@ type Options struct {
 	// Tests loads and analyzes test packages too. Analyzers opt in per
 	// check via Analyzer.IncludeTests.
 	Tests bool
+	// Graph, when non-nil, receives the whole-module call graph in DOT
+	// form (the -graph debug mode).
+	Graph io.Writer
 }
 
 // Run loads the packages matched by patterns (resolved against dir) and
@@ -105,6 +112,56 @@ func RunOpts(dir string, opts Options) (*Result, error) {
 	}
 	res := &Result{Packages: len(pkgs)}
 
+	// Build the whole-module view once when any selected analyzer is
+	// interprocedural (or the caller wants the call graph). Summaries are
+	// forced here, before the parallel phase, so per-package analyzers
+	// read them without synchronization.
+	var prog *Program
+	needsProgram := opts.Graph != nil
+	for _, a := range analyzers {
+		if a.Run == nil || a.NeedsProgram {
+			needsProgram = true
+		}
+	}
+	if needsProgram {
+		prog = BuildProgram(loader.Fset(), pkgs)
+		prog.EnsureSummaries()
+		if opts.Graph != nil {
+			if err := prog.WriteDOT(opts.Graph); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Program analyzers run once, sequentially; their findings are routed
+	// to the owning package so suppression directives apply uniformly.
+	extra := make(map[*Package][]Finding)
+	if prog != nil {
+		fileOwner := make(map[string]*Package)
+		for _, pkg := range pkgs {
+			if pkg.IsTest {
+				continue
+			}
+			for _, f := range pkg.Files {
+				fileOwner[loader.Fset().Position(f.Pos()).Filename] = pkg
+			}
+		}
+		for _, a := range analyzers {
+			if a.RunProgram == nil {
+				continue
+			}
+			var programFindings []Finding
+			a.RunProgram(&ProgramPass{Analyzer: a, Prog: prog, findings: &programFindings})
+			for _, f := range programFindings {
+				if owner := fileOwner[f.File]; owner != nil {
+					extra[owner] = append(extra[owner], f)
+				} else {
+					res.Findings = append(res.Findings, f)
+				}
+			}
+		}
+	}
+
 	perPkg := make([][]Finding, len(pkgs))
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
@@ -114,7 +171,7 @@ func RunOpts(dir string, opts Options) (*Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			perPkg[i] = analyzePackage(loader, pkg, analyzers, fullSuite)
+			perPkg[i] = analyzePackage(loader, pkg, analyzers, fullSuite, prog, extra[pkg])
 		}(i, pkg)
 	}
 	wg.Wait()
@@ -136,13 +193,21 @@ func RunOpts(dir string, opts Options) (*Result, error) {
 // with the full suite: a subset run cannot tell a stale directive from
 // one covering a disabled check. Test packages only see analyzers that
 // opted in via IncludeTests.
-func analyzePackage(loader *Loader, pkg *Package, analyzers []*Analyzer, fullSuite bool) []Finding {
-	var findings []Finding
+func analyzePackage(loader *Loader, pkg *Package, analyzers []*Analyzer, fullSuite bool, prog *Program, extra []Finding) []Finding {
+	findings := append([]Finding(nil), extra...)
 	report := func(f Finding) { findings = append(findings, f) }
 
 	inCorpus := strings.Contains(filepath.ToSlash(pkg.Dir), corpusMarker)
 	ranAll := true
 	for _, a := range analyzers {
+		if a.Run == nil {
+			// Program analyzers already ran globally; their findings for
+			// this package arrived via extra. They skip test packages.
+			if pkg.IsTest || prog == nil {
+				ranAll = false
+			}
+			continue
+		}
 		if pkg.IsTest && !a.IncludeTests {
 			ranAll = false
 			continue
@@ -157,6 +222,7 @@ func analyzePackage(loader *Loader, pkg *Package, analyzers []*Analyzer, fullSui
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
 			Path:     pkg.Path,
+			Prog:     prog,
 			findings: &findings,
 		}
 		a.Run(pass)

@@ -104,11 +104,13 @@ func BenchmarkAnalyzeOnly(b *testing.B) {
 		b.Fatal(err)
 	}
 	analyzers := Analyzers()
+	prog := BuildProgram(loader.Fset(), pkgs)
+	prog.EnsureSummaries()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, pkg := range pkgs {
-			analyzePackage(loader, pkg, analyzers, true)
+			analyzePackage(loader, pkg, analyzers, true, prog, nil)
 		}
 	}
 }

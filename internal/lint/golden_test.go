@@ -157,8 +157,25 @@ func TestRepoTreeIsLintClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, f := range res.Unsuppressed() {
+	base, err := LoadBaseline(filepath.Join(root, ".lint-baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.ApplyBaseline(base)
+	for _, f := range res.Gating(SeverityInfo) {
 		t.Errorf("unsuppressed finding: %s", f.String())
+	}
+	// Every baseline entry must still absorb a live finding: stale
+	// entries are budget a regression could silently spend.
+	for _, e := range res.StaleBaseline(base) {
+		t.Errorf("stale baseline entry: %s %s %q", e.Check, e.File, e.Message)
+	}
+	// The baseline is for justified info-level debt only; error- and
+	// warn-severity findings must be fixed, not absorbed.
+	for _, f := range res.Findings {
+		if f.Baselined && f.Severity != SeverityInfo {
+			t.Errorf("baseline absorbs a %s-severity finding (only info may be waived): %s", f.Severity, f.String())
+		}
 	}
 	if res.Packages < 20 {
 		t.Errorf("analyzed %d packages, expected the whole module (>= 20)", res.Packages)

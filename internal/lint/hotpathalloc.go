@@ -1,0 +1,291 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerHotPathAlloc walks the call graph from the serving entry
+// points (exported Predict* functions in serving-tier packages) and
+// flags per-call heap allocations on the reachable hot path. An
+// allocation counts when it executes once per served instance: either
+// it sits lexically inside a data loop, or the whole function is
+// invoked per iteration of some data loop upstream (interface dispatch
+// from the batch kernels included, via CHA). Event loops — bare `for`
+// and `for range ch` worker loops — do not mark their callees
+// per-iteration: work done once per batch is the design, not a leak.
+// Appends into slices pre-sized with an explicit capacity in the same
+// function are exempt (the slab pattern the serving tier already uses).
+var AnalyzerHotPathAlloc = &Analyzer{
+	Name:       "hotpath-alloc",
+	Doc:        "flags per-call allocations reachable from serving predict entry points",
+	Severity:   SeverityInfo,
+	RunProgram: runHotPathAlloc,
+}
+
+func runHotPathAlloc(pp *ProgramPass) {
+	prog := pp.Prog
+
+	// Entry points: exported Predict* declarations in the serving tier
+	// (and the check's own corpus).
+	var entries []*Node
+	for _, n := range prog.Nodes {
+		if n.Decl == nil || n.Body() == nil {
+			continue
+		}
+		if !pathHasAny(n.Pkg.Path, "serving", "hotpathalloc") {
+			continue
+		}
+		name := n.Decl.Name.Name
+		if strings.HasPrefix(name, "Predict") && ast.IsExported(name) {
+			entries = append(entries, n)
+		}
+	}
+	if len(entries) == 0 {
+		return
+	}
+
+	// BFS: reachable set plus a per-iteration flag that turns on when an
+	// edge sits inside a data loop and stays on downstream. prev records
+	// the discovery edge for the report's reachability chain.
+	reachable := make(map[*Node]bool)
+	perIter := make(map[*Node]bool)
+	prev := make(map[*Node]*Node)
+	queue := make([]*Node, 0, len(entries))
+	for _, e := range entries {
+		reachable[e] = true
+		queue = append(queue, e)
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range u.Out {
+			v := e.Callee
+			// A `go` edge does not inherit the iteration context: a loop
+			// spawning N workers runs each worker body once per worker
+			// lifetime, not once per served instance.
+			iter := (perIter[u] || e.InDataLoop) && e.Kind != CallGo
+			if !reachable[v] {
+				reachable[v] = true
+				perIter[v] = iter
+				prev[v] = u
+				queue = append(queue, v)
+			} else if iter && !perIter[v] {
+				perIter[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+
+	seen := make(map[token.Pos]bool)
+	for _, n := range prog.Nodes {
+		if !reachable[n] || n.Body() == nil {
+			continue
+		}
+		scanHotAllocs(pp, n, perIter[n], entryOf(prev, n), seen)
+	}
+}
+
+// entryOf walks the BFS discovery tree back to the entry point. Only the
+// entry goes into the message — a full call chain would make baseline
+// fingerprints break on every unrelated rename along the path (the
+// -graph DOT dump serves the debugging need instead).
+func entryOf(prev map[*Node]*Node, n *Node) string {
+	cur := n
+	for prev[cur] != nil {
+		cur = prev[cur]
+	}
+	return cur.Name
+}
+
+// scanHotAllocs walks one hot-path function body and reports each
+// allocation that executes per served instance.
+func scanHotAllocs(pp *ProgramPass, n *Node, fnPerIter bool, entry string, seen map[token.Pos]bool) {
+	pkg := n.Pkg
+	capped := cappedSlices(pkg, n.Body())
+
+	report := func(pos token.Pos, what string) {
+		if seen[pos] {
+			return
+		}
+		seen[pos] = true
+		where := "this function runs once per served instance"
+		if !fnPerIter {
+			where = "inside a per-instance loop"
+		}
+		pp.Reportf(pos, "%s on the serving hot path (%s, reachable from %s); hoist the buffer or preallocate with capacity", what, where, entry)
+	}
+
+	// Explicit ancestor walk so each node knows whether it is inside a
+	// data loop of this function (event loops deliberately excluded).
+	var stack []ast.Node
+	var walk func(root ast.Node)
+	walk = func(root ast.Node) {
+		ast.Inspect(root, func(m ast.Node) bool {
+			if m == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if lit, isLit := m.(*ast.FuncLit); isLit && lit != n.Lit {
+				return false // literals are their own graph nodes
+			}
+			inLoop := fnPerIter || inDataLoop(pkg, stack)
+			switch m := m.(type) {
+			case *ast.CallExpr:
+				// panic arguments only execute on the failure path, which
+				// is cold however hot the function is.
+				if fn, isIdent := ast.Unparen(m.Fun).(*ast.Ident); isIdent && fn.Name == "panic" && pkg.Info.Uses[fn] == types.Universe.Lookup("panic") {
+					return false
+				}
+				if kind, isAlloc := allocKind(pkg, m, capped); isAlloc && inLoop {
+					report(m.Pos(), kind)
+				}
+			case *ast.CompositeLit:
+				if inLoop && compositeAllocates(pkg, m) {
+					report(m.Pos(), "composite literal allocation")
+				}
+			case *ast.UnaryExpr:
+				if m.Op == token.AND {
+					if _, isLit := ast.Unparen(m.X).(*ast.CompositeLit); isLit && inLoop {
+						report(m.Pos(), "heap-escaping &struct literal")
+					}
+				}
+			case *ast.BinaryExpr:
+				if m.Op == token.ADD && inLoop && isStringExpr(pkg, m.X) {
+					report(m.Pos(), "string concatenation")
+				}
+			}
+			stack = append(stack, m)
+			return true
+		})
+	}
+	walk(n.Body())
+}
+
+// cappedSlices collects variables initialized with an explicit-capacity
+// make in this function; appends to them are amortized-free by design.
+func cappedSlices(pkg *Package, body *ast.BlockStmt) map[*types.Var]bool {
+	capped := make(map[*types.Var]bool)
+	mark := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := pkg.Info.ObjectOf(id).(*types.Var)
+		if !ok {
+			return
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		// The slab idiom `batch := append(make([]T, 0, cap), first)` also
+		// pre-sizes: look through one append to its destination.
+		if fn, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent && fn.Name == "append" && len(call.Args) > 0 {
+			if inner, isCall := ast.Unparen(call.Args[0]).(*ast.CallExpr); isCall {
+				call = inner
+			}
+		}
+		if fn, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent && fn.Name == "make" && len(call.Args) == 3 {
+			capped[v] = true
+		}
+	}
+	ast.Inspect(body, func(m ast.Node) bool {
+		if assign, ok := m.(*ast.AssignStmt); ok && len(assign.Lhs) == len(assign.Rhs) {
+			for i := range assign.Lhs {
+				mark(assign.Lhs[i], assign.Rhs[i])
+			}
+		}
+		return true
+	})
+	return capped
+}
+
+// allocKind classifies a call expression as a per-call allocation.
+func allocKind(pkg *Package, call *ast.CallExpr, capped map[*types.Var]bool) (string, bool) {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if pkg.Info.Uses[fn] == types.Universe.Lookup(fn.Name) {
+			switch fn.Name {
+			case "make":
+				return "make", true
+			case "new":
+				return "new", true
+			case "append":
+				if len(call.Args) > 0 {
+					if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+						if v, isVar := pkg.Info.ObjectOf(id).(*types.Var); isVar && capped[v] {
+							return "", false
+						}
+					}
+				}
+				return "append into uncapped slice", true
+			}
+		}
+	case *ast.SelectorExpr:
+		if pkgName, ok := ast.Unparen(fn.X).(*ast.Ident); ok {
+			// Errorf is deliberately absent: error construction happens on
+			// the exceptional path, which is not the serving hot path.
+			if pn, isPkg := pkg.Info.Uses[pkgName].(*types.PkgName); isPkg && pn.Imported().Path() == "fmt" {
+				switch fn.Sel.Name {
+				case "Sprintf", "Sprint", "Sprintln":
+					return "fmt." + fn.Sel.Name, true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// compositeAllocates reports whether a bare composite literal heads a
+// heap allocation: slice and map literals do, value struct literals
+// don't (they may live on the stack).
+func compositeAllocates(pkg *Package, lit *ast.CompositeLit) bool {
+	t := pkg.Info.TypeOf(lit)
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// isStringExpr reports whether e has string type.
+func isStringExpr(pkg *Package, e ast.Expr) bool {
+	t := pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// inDataLoop reports whether the innermost enclosing loop on the
+// ancestor stack is a data loop: a for statement with a condition or
+// range over anything but a channel. Bare `for {}` event loops and
+// channel-receive loops are the serving tier's dispatch structure, not
+// per-instance work.
+func inDataLoop(pkg *Package, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.ForStmt:
+			if s.Cond != nil || s.Init != nil || s.Post != nil {
+				return true
+			}
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(s.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					continue
+				}
+			}
+			return true
+		case *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}

@@ -120,7 +120,17 @@ type Analyzer struct {
 	// modes only matter in production code leave it false.
 	IncludeTests bool
 	// Run inspects the package and reports findings through the pass.
+	// Nil for whole-program analyzers, which set RunProgram instead.
 	Run func(*Pass)
+	// RunProgram, when set, runs once over the whole-module Program
+	// (call graph + summaries) instead of per package. The driver maps
+	// its findings back into the owning packages so suppression
+	// directives and baselines apply uniformly.
+	RunProgram func(*ProgramPass)
+	// NeedsProgram requests that the driver build the Program and expose
+	// it as Pass.Prog even for per-package analyzers (ctx-leak and
+	// body-leak consult callee summaries for ownership transfer).
+	NeedsProgram bool
 }
 
 // EffectiveSeverity resolves the analyzer's gate weight, defaulting to
@@ -141,8 +151,48 @@ type Pass struct {
 	Info     *types.Info
 	// Path is the package import path.
 	Path string
+	// Prog is the whole-module view (call graph + summaries), set when
+	// the run built one; nil otherwise. Analyzers consulting it must
+	// degrade gracefully to their conservative intraprocedural behavior.
+	Prog *Program
 
 	findings *[]Finding
+}
+
+// ProgramPass carries one whole-program analyzer's run.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	findings *[]Finding
+}
+
+// Reportf records a program-level finding at pos.
+func (pp *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	position := pp.Prog.Fset.Position(pos)
+	*pp.findings = append(*pp.findings, Finding{
+		Check:    pp.Analyzer.Name,
+		Severity: pp.Analyzer.EffectiveSeverity(),
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// PassFor adapts the program pass to one package, so program analyzers
+// can reuse the per-package helper surface (CFGs, expression printing).
+func (pp *ProgramPass) PassFor(pkg *Package) *Pass {
+	return &Pass{
+		Analyzer: pp.Analyzer,
+		Fset:     pp.Prog.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		Path:     pkg.Path,
+		Prog:     pp.Prog,
+		findings: pp.findings,
+	}
 }
 
 // Reportf records a finding at pos.

@@ -501,5 +501,6 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 	}
 	l.stdMu.Lock()
 	defer l.stdMu.Unlock()
+	//lint:ignore lock-order l.std is the stdlib source importer, never a moduleImporter; CHA over-approximates the interface call
 	return l.std.Import(path)
 }

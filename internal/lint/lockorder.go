@@ -1,0 +1,310 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// AnalyzerLockOrder builds a module-global lock-order graph and flags
+// cycles — the cross-function deadlock the per-function lock-balance
+// check cannot see. Locks are canonicalized to type-level keys
+// ("serving.Runtime.mu", "telemetry.Registry.mu"): an edge A -> B means
+// some function may acquire B while holding A, either directly or by
+// calling into a function whose summary says it may acquire B. Two
+// functions disagreeing about the order (a cycle in the graph) can
+// deadlock under concurrency: one goroutine holds A waiting for B while
+// another holds B waiting for A. Keys are instance-insensitive, so two
+// different values of the same type share a key — a self-edge therefore
+// also flags the "same type locked twice" shape, which needs an
+// explicit global acquisition order to be safe.
+var AnalyzerLockOrder = &Analyzer{
+	Name:       "lock-order",
+	Doc:        "flags lock-order cycles across functions (potential deadlocks)",
+	Severity:   SeverityError,
+	RunProgram: runLockOrder,
+}
+
+// heldLock is the dataflow payload: where the lock was acquired and
+// whether only for reading.
+type heldLock struct {
+	pos  int
+	read bool
+}
+
+// orderEdge is one lock-order graph edge with its first witness.
+type orderEdge struct {
+	from, to string
+	// pos is the witness site: the acquire of `to` (direct) or the call
+	// that may acquire it.
+	pos token.Pos
+	// via is the callee chain for summary-based edges, "" when direct.
+	via string
+	// fn is the witnessing function, for the report.
+	fn *Node
+}
+
+func runLockOrder(pp *ProgramPass) {
+	prog := pp.Prog
+	prog.EnsureSummaries()
+
+	type edgeKey struct{ from, to string }
+	edges := make(map[edgeKey]*orderEdge)
+	record := func(from, to string, pos token.Pos, via string, fn *Node) {
+		k := edgeKey{from, to}
+		if _, seen := edges[k]; !seen {
+			edges[k] = &orderEdge{from: from, to: to, pos: pos, via: via, fn: fn}
+		}
+	}
+
+	for _, n := range prog.Nodes {
+		if n.Decl != nil && lockVerbs[n.Decl.Name.Name] {
+			continue // lock wrappers legitimately return holding
+		}
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		collectOrderEdges(pp, n, record)
+	}
+
+	// Condense the key graph; any SCC with an internal edge is a cycle.
+	adjacent := make(map[string][]string)
+	keys := make(map[string]bool)
+	for k := range edges {
+		adjacent[k.from] = append(adjacent[k.from], k.to)
+		keys[k.from], keys[k.to] = true, true
+	}
+	component := lockSCCs(keys, adjacent)
+
+	var cyclic []*orderEdge
+	for _, e := range edges {
+		if component[e.from] == component[e.to] {
+			cyclic = append(cyclic, e)
+		}
+	}
+	sort.Slice(cyclic, func(i, j int) bool {
+		if cyclic[i].pos != cyclic[j].pos {
+			return cyclic[i].pos < cyclic[j].pos
+		}
+		return cyclic[i].to < cyclic[j].to
+	})
+	for _, e := range cyclic {
+		cycle := cycleString(component, e)
+		if e.from == e.to {
+			if e.via != "" {
+				pp.Reportf(e.pos, "call to %s may acquire %s while an instance of it is already held in %s; same-type locks need a global acquisition order or this self-deadlocks", e.via, shortKeyName(e.to), e.fn.Name)
+			} else {
+				pp.Reportf(e.pos, "%s acquired while an instance of it is already held in %s; same-type locks need a global acquisition order or this self-deadlocks", shortKeyName(e.to), e.fn.Name)
+			}
+			continue
+		}
+		if e.via != "" {
+			pp.Reportf(e.pos, "call to %s may acquire %s while %s is held in %s, but elsewhere the order is reversed (lock-order cycle %s); potential deadlock", e.via, shortKeyName(e.to), shortKeyName(e.from), e.fn.Name, cycle)
+		} else {
+			pp.Reportf(e.pos, "%s acquired while %s is held in %s, but elsewhere the order is reversed (lock-order cycle %s); potential deadlock", shortKeyName(e.to), shortKeyName(e.from), e.fn.Name, cycle)
+		}
+	}
+}
+
+// collectOrderEdges runs the held-locks forward dataflow over one
+// function and emits order edges at every acquire and call site.
+// Deferred unlocks do not release here (unlike lock-balance): the lock
+// is genuinely held across every statement after the defer.
+func collectOrderEdges(pp *ProgramPass, n *Node, record func(from, to string, pos token.Pos, via string, fn *Node)) {
+	pass := pp.PassFor(n.Pkg)
+	g := pass.BuildCFG(n.Body())
+	prog := pp.Prog
+
+	// sites maps call positions to resolved graph edges, so interface
+	// fan-out and callback registration contribute summary effects.
+	sites := make(map[token.Pos][]*CallSite, len(n.Out))
+	for _, e := range n.Out {
+		sites[e.Pos] = append(sites[e.Pos], e)
+	}
+
+	step := func(node ast.Node, held map[string]heldLock, emit bool) map[string]heldLock {
+		out := held
+		copied := false
+		mutate := func() {
+			if !copied {
+				copied = true
+				out = cloneFacts(held)
+			}
+		}
+		inspectShallow(node, func(m ast.Node) bool {
+			if _, isDefer := m.(*ast.DeferStmt); isDefer {
+				// Deferred calls run at function exit, not here: a deferred
+				// unlock must not release the lock mid-function, and a
+				// deferred acquire is not held at the following statements.
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if op, isLock := globalLockOp(n.Pkg, call); isLock {
+				if op.acquire {
+					if emit {
+						for from, h := range out {
+							if from == op.key && h.read && op.read {
+								continue // shared re-acquire cannot deadlock alone
+							}
+							record(from, op.key, call.Pos(), "", n)
+						}
+					}
+					if h, already := out[op.key]; !already || (h.read && !op.read) {
+						mutate()
+						out[op.key] = heldLock{pos: int(call.Pos()), read: op.read && (!already || h.read)}
+					}
+				} else {
+					if _, tracked := out[op.key]; tracked {
+						mutate()
+						delete(out, op.key)
+					}
+				}
+				return true
+			}
+			// Non-lock call: merge callee lock effects from summaries.
+			for _, e := range sites[call.Pos()] {
+				if e.Kind == CallGo {
+					continue // runs concurrently, not under our locks
+				}
+				sum := prog.summaries[e.Callee]
+				if sum == nil {
+					continue
+				}
+				if emit {
+					for to, acq := range sum.MayAcquire {
+						via := e.Callee.Name
+						if acq.Via != "" {
+							via += " -> " + acq.Via
+						}
+						for from, h := range out {
+							if from == to && h.read && acq.Read {
+								continue
+							}
+							record(from, to, call.Pos(), via, n)
+						}
+					}
+				}
+				for key := range sum.ReleasedAtExit {
+					if _, tracked := out[key]; tracked {
+						mutate()
+						delete(out, key)
+					}
+				}
+				for key := range sum.HeldAtExit {
+					if _, already := out[key]; !already {
+						mutate()
+						out[key] = heldLock{pos: int(call.Pos())}
+					}
+				}
+			}
+			return true
+		})
+		return out
+	}
+
+	noEmit := func(b *Block, f map[string]heldLock) map[string]heldLock {
+		for _, node := range b.Nodes {
+			f = step(node, f, false)
+		}
+		return f
+	}
+	facts := Solve(g, FlowProblem[map[string]heldLock]{
+		Boundary: func() map[string]heldLock { return map[string]heldLock{} },
+		Init:     func() map[string]heldLock { return map[string]heldLock{} },
+		Meet: func(a, b map[string]heldLock) map[string]heldLock {
+			return unionFacts(a, b, func(x, y heldLock) heldLock {
+				if y.pos < x.pos {
+					return y
+				}
+				return x
+			})
+		},
+		Equal:    equalFacts[string, heldLock],
+		Transfer: noEmit,
+	})
+	// Emission replay: walk blocks in build order with the solved entry
+	// facts so witnesses are deterministic.
+	for _, b := range g.Blocks {
+		f := facts[b].In
+		for _, node := range b.Nodes {
+			f = step(node, f, true)
+		}
+	}
+}
+
+// lockSCCs computes strongly connected components over lock keys
+// (Tarjan, deterministic by sorted key order).
+func lockSCCs(keys map[string]bool, adjacent map[string][]string) map[string]int {
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, adj := range adjacent {
+		sort.Strings(adj)
+	}
+
+	index := make(map[string]int, len(keys))
+	low := make(map[string]int, len(keys))
+	onStack := make(map[string]bool, len(keys))
+	component := make(map[string]int, len(keys))
+	var stack []string
+	next, compID := 0, 0
+
+	var connect func(k string)
+	connect = func(k string) {
+		index[k] = next
+		low[k] = next
+		next++
+		stack = append(stack, k)
+		onStack[k] = true
+		for _, m := range adjacent[k] {
+			if _, seen := index[m]; !seen {
+				connect(m)
+				if low[m] < low[k] {
+					low[k] = low[m]
+				}
+			} else if onStack[m] && index[m] < low[k] {
+				low[k] = index[m]
+			}
+		}
+		if low[k] == index[k] {
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				component[m] = compID
+				if m == k {
+					break
+				}
+			}
+			compID++
+		}
+	}
+	for _, k := range sorted {
+		if _, seen := index[k]; !seen {
+			connect(k)
+		}
+	}
+	return component
+}
+
+// cycleString renders the cycle an edge participates in, for the report.
+func cycleString(component map[string]int, e *orderEdge) string {
+	if e.from == e.to {
+		return shortKeyName(e.from) + " -> " + shortKeyName(e.from)
+	}
+	var members []string
+	for k, c := range component {
+		if c == component[e.from] {
+			members = append(members, shortKeyName(k))
+		}
+	}
+	sort.Strings(members)
+	return strings.Join(members, " <-> ")
+}

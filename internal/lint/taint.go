@@ -1,0 +1,478 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerTaintPath flags strings derived from an *http.Request (path
+// values, query parameters, form fields, headers) that reach a
+// filesystem-touching sink — os.Open and friends, filepath.Join, or the
+// model registry's Save/Load — without passing a sanitizer. This is the
+// path-traversal shape that matters for SPATIAL's model registry: a
+// request-controlled model name joined into a blob path escapes the
+// registry directory with a "../" segment. The analysis is
+// interprocedural: per-function summaries record how parameters flow to
+// returns and sinks, so request data handed to a helper that opens a
+// file is reported at the handler's call site with the helper chain.
+// Sanitizers (filepath.Base, path.Base, url.PathEscape/QueryEscape, and
+// functions with "sanitize" in their name) stop propagation.
+var AnalyzerTaintPath = &Analyzer{
+	Name:       "taint-path",
+	Doc:        "flags request-derived strings reaching filesystem sinks without sanitization",
+	Severity:   SeverityError,
+	RunProgram: runTaintPath,
+}
+
+// requestBit is the taint bit used in request mode (summary mode uses
+// one bit per parameter instead).
+const requestBit uint64 = 1
+
+func runTaintPath(pp *ProgramPass) {
+	prog := pp.Prog
+	prog.EnsureSummaries()
+	type hitKey struct {
+		pos  token.Pos
+		sink string
+	}
+	for _, n := range prog.Nodes {
+		body := n.Body()
+		if body == nil || !importsNetHTTP(n.Pkg) {
+			continue
+		}
+		eng := &taintEngine{pkg: n.Pkg, prog: prog, seedExpr: requestSeed(n.Pkg)}
+		eng.propagate(body)
+		seen := make(map[hitKey]bool)
+		eng.scanSinks(body, func(sink string, pos token.Pos, mask uint64, via string) {
+			if mask&requestBit == 0 {
+				return
+			}
+			k := hitKey{pos: pos, sink: sink}
+			if seen[k] {
+				return
+			}
+			seen[k] = true
+			if via != "" {
+				pp.Reportf(pos, "request-derived string reaches %s (via %s) without sanitization; validate it or take filepath.Base first", sink, via)
+			} else {
+				pp.Reportf(pos, "request-derived string reaches %s without sanitization; validate it or take filepath.Base first", sink)
+			}
+		})
+	}
+}
+
+// importsNetHTTP cheaply gates request-mode analysis to packages that
+// can see an *http.Request at all.
+func importsNetHTTP(pkg *Package) bool {
+	if pkg.Types == nil {
+		return false
+	}
+	for _, imp := range pkg.Types.Imports() {
+		if imp.Path() == "net/http" {
+			return true
+		}
+	}
+	return false
+}
+
+// requestSeed returns the request-mode seed function: an expression
+// rooted at an *http.Request-typed identifier is request-derived.
+func requestSeed(pkg *Package) func(ast.Expr) uint64 {
+	return func(e ast.Expr) uint64 {
+		if requestRooted(pkg, e) {
+			return requestBit
+		}
+		return 0
+	}
+}
+
+// requestRooted walks selector/call/index chains down to their root
+// identifier and reports whether it is an *http.Request.
+func requestRooted(pkg *Package, e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return false
+			}
+			e = sel.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			v, _ := pkg.Info.Uses[x].(*types.Var)
+			if v == nil {
+				return false
+			}
+			pkgPath, typeName := namedPath(v.Type())
+			return pkgPath == "net/http" && typeName == "Request"
+		default:
+			return false
+		}
+	}
+}
+
+// --- the shared propagation engine ---
+
+// taintEngine propagates bitmask taint through one function body,
+// flow-insensitively, to a fixpoint. Summary computation seeds one bit
+// per parameter; the taint-path check seeds request-derived expressions.
+type taintEngine struct {
+	pkg  *Package
+	prog *Program
+	// vars carries per-variable taint masks.
+	vars map[*types.Var]uint64
+	// seedExpr, when non-nil, contributes extra taint to expressions
+	// (request mode).
+	seedExpr func(ast.Expr) uint64
+	changed  bool
+}
+
+func (t *taintEngine) seedVar(v *types.Var, mask uint64) {
+	if t.vars == nil {
+		t.vars = make(map[*types.Var]uint64)
+	}
+	t.vars[v] |= mask
+}
+
+func (t *taintEngine) taintVar(v *types.Var, mask uint64) {
+	if v == nil || mask == 0 {
+		return
+	}
+	if t.vars == nil {
+		t.vars = make(map[*types.Var]uint64)
+	}
+	if t.vars[v]&mask != mask {
+		t.vars[v] |= mask
+		t.changed = true
+	}
+}
+
+func (t *taintEngine) identVar(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return lookupVar(t.pkg, id)
+}
+
+// propagate iterates assignment propagation to a fixpoint (function
+// literals are separate call-graph nodes and are skipped).
+func (t *taintEngine) propagate(body ast.Node) {
+	for round := 0; round < 20; round++ {
+		t.changed = false
+		inspectShallow(body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.AssignStmt:
+				if len(m.Rhs) == 1 && len(m.Lhs) > 1 {
+					mask := t.exprMask(m.Rhs[0])
+					for _, lhs := range m.Lhs {
+						t.taintVar(t.identVar(lhs), mask)
+					}
+					return true
+				}
+				for i := range m.Lhs {
+					if i < len(m.Rhs) {
+						t.taintVar(t.identVar(m.Lhs[i]), t.exprMask(m.Rhs[i]))
+					}
+				}
+			case *ast.ValueSpec:
+				if len(m.Values) == 1 && len(m.Names) > 1 {
+					mask := t.exprMask(m.Values[0])
+					for _, name := range m.Names {
+						t.taintVar(lookupVar(t.pkg, name), mask)
+					}
+					return true
+				}
+				for i, name := range m.Names {
+					if i < len(m.Values) {
+						t.taintVar(lookupVar(t.pkg, name), t.exprMask(m.Values[i]))
+					}
+				}
+			case *ast.RangeStmt:
+				mask := t.exprMask(m.X)
+				t.taintVar(t.identVar(m.Key), mask)
+				t.taintVar(t.identVar(m.Value), mask)
+			}
+			return true
+		})
+		if !t.changed {
+			return
+		}
+	}
+}
+
+// exprMask computes the taint mask of an expression.
+func (t *taintEngine) exprMask(e ast.Expr) uint64 {
+	if e == nil {
+		return 0
+	}
+	var mask uint64
+	if t.seedExpr != nil {
+		mask |= t.seedExpr(e)
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v := lookupVar(t.pkg, e); v != nil {
+			mask |= t.vars[v]
+		}
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			mask |= t.exprMask(e.X) | t.exprMask(e.Y)
+		}
+	case *ast.CallExpr:
+		mask |= t.callMask(e)
+	case *ast.SelectorExpr:
+		mask |= t.exprMask(e.X)
+	case *ast.IndexExpr:
+		mask |= t.exprMask(e.X)
+	case *ast.SliceExpr:
+		mask |= t.exprMask(e.X)
+	case *ast.StarExpr:
+		mask |= t.exprMask(e.X)
+	case *ast.UnaryExpr:
+		mask |= t.exprMask(e.X)
+	case *ast.TypeAssertExpr:
+		mask |= t.exprMask(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				mask |= t.exprMask(kv.Value)
+			} else {
+				mask |= t.exprMask(el)
+			}
+		}
+	}
+	return mask
+}
+
+// taintSanitizers stop propagation: their result is clean regardless of
+// the arguments.
+var taintSanitizers = map[string]map[string]bool{
+	"path/filepath": {"Base": true},
+	"path":          {"Base": true},
+	"net/url":       {"PathEscape": true, "QueryEscape": true},
+}
+
+// taintPropagators are external functions whose result unions the
+// arguments' taint. filepath.Clean deliberately propagates: Clean does
+// not neutralize "../" in relative paths.
+var taintPropagators = map[string]bool{
+	"strings": true, "fmt": true, "path": true, "path/filepath": true,
+	"strconv": true, "net/url": true, "bytes": true,
+}
+
+func (t *taintEngine) callMask(call *ast.CallExpr) uint64 {
+	argUnion := func() uint64 {
+		var m uint64
+		for _, a := range call.Args {
+			m |= t.exprMask(a)
+		}
+		return m
+	}
+	// Type conversions (string(b), mytype(s)) keep the operand's taint.
+	if tv, ok := t.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return argUnion()
+	}
+	if path, name, ok := pkgQualifiedFunc(t.pkg, call); ok {
+		if taintSanitizers[path][name] {
+			return 0
+		}
+		if isModulePath(t.prog, path) {
+			// handled below via summaries
+		} else if taintPropagators[path] {
+			return argUnion()
+		} else {
+			return 0 // unknown external call: assume clean result
+		}
+	}
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := t.pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return argUnion() // append, min, max, ...
+		}
+	}
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if s, found := t.pkg.Info.Selections[sel]; found && s.Kind() == types.MethodVal {
+			if nameHasSanitize(sel.Sel.Name) {
+				return 0
+			}
+			if t.prog == nil || t.prog.staticCallee(t.pkg, call) == nil {
+				// External or dynamic method: a call on a tainted receiver
+				// (url.Values.Get, strings.Replacer.Replace) stays tainted.
+				return t.exprMask(sel.X) | argUnion()
+			}
+		}
+	}
+	// Module function with a summary: map argument taint through the
+	// callee's param-to-return flows.
+	if t.prog != nil {
+		if callee := t.prog.staticCallee(t.pkg, call); callee != nil {
+			if nameHasSanitize(calleeName(callee)) {
+				return 0
+			}
+			var mask uint64
+			sum := t.prog.summaries[callee]
+			if sum != nil {
+				for j, a := range call.Args {
+					if j < len(sum.ParamToReturn) && sum.ParamToReturn[j] {
+						mask |= t.exprMask(a)
+					}
+				}
+			}
+			if sel, ok := fun.(*ast.SelectorExpr); ok {
+				if s, found := t.pkg.Info.Selections[sel]; found && s.Kind() == types.MethodVal {
+					mask |= t.exprMask(sel.X) // method on tainted receiver
+				}
+			}
+			return mask
+		}
+	}
+	return 0
+}
+
+func calleeName(n *Node) string {
+	if n.Func != nil {
+		return n.Func.Name()
+	}
+	return n.Name
+}
+
+// nameHasSanitize treats any function self-describing as a sanitizer as
+// one; the suppression mechanism covers disagreements.
+func nameHasSanitize(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "sanitize")
+}
+
+// pkgQualifiedFunc resolves pkgname.F(...) calls without needing a Pass.
+func pkgQualifiedFunc(pkg *Package, call *ast.CallExpr) (path, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	if pn, isPkg := pkg.Info.Uses[id].(*types.PkgName); isPkg {
+		return pn.Imported().Path(), sel.Sel.Name, true
+	}
+	return "", "", false
+}
+
+func isModulePath(prog *Program, path string) bool {
+	if prog == nil || len(prog.Pkgs) == 0 {
+		return false
+	}
+	mod := prog.Pkgs[0].Path
+	if i := strings.Index(mod, "/"); i > 0 {
+		mod = mod[:i]
+	}
+	return path == mod || strings.HasPrefix(path, mod+"/")
+}
+
+// taintSinkArgs maps external filesystem sinks to the argument indexes
+// that must stay clean (-1 = every argument).
+var taintSinkArgs = map[string]map[string][]int{
+	"os": {
+		"Open": {0}, "OpenFile": {0}, "Create": {0}, "ReadFile": {0},
+		"WriteFile": {0}, "Remove": {0}, "RemoveAll": {0}, "Rename": {0, 1},
+		"Mkdir": {0}, "MkdirAll": {0}, "Stat": {0}, "Lstat": {0},
+		"ReadDir": {0}, "Chdir": {0}, "Truncate": {0},
+	},
+	"path/filepath": {"Join": {-1}},
+	"path":          {"Join": {-1}},
+}
+
+// moduleSinkMethods are module methods that write request-visible names
+// to disk; keyed by types.Func.FullName.
+var moduleSinkMethods = map[string][]int{
+	"(*repro/internal/serving.Registry).Save": {0},
+	"(*repro/internal/serving.Registry).Load": {0},
+}
+
+// scanSinks walks the body's calls reporting taint reaching a sink —
+// directly, or through a module callee whose summary flows a parameter
+// to one.
+func (t *taintEngine) scanSinks(body ast.Node, hit func(sink string, pos token.Pos, mask uint64, via string)) {
+	inspectShallow(body, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if path, name, ok := pkgQualifiedFunc(t.pkg, call); ok {
+			if args, isSink := taintSinkArgs[path][name]; isSink {
+				display := path[strings.LastIndex(path, "/")+1:] + "." + name
+				mask := t.sinkArgMask(call, args)
+				if mask != 0 {
+					hit(display, call.Pos(), mask, "")
+				}
+				return true
+			}
+		}
+		if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+			if s, found := t.pkg.Info.Selections[sel]; found && s.Kind() == types.MethodVal {
+				if fn, isFn := s.Obj().(*types.Func); isFn {
+					if args, isSink := moduleSinkMethods[fn.FullName()]; isSink {
+						mask := t.sinkArgMask(call, args)
+						if mask != 0 {
+							hit(shortFuncName(fn), call.Pos(), mask, "")
+						}
+						return true
+					}
+				}
+			}
+		}
+		// Interprocedural: taint handed to a module callee that flows the
+		// parameter to a sink.
+		if t.prog != nil {
+			if callee := t.prog.staticCallee(t.pkg, call); callee != nil {
+				if sum := t.prog.summaries[callee]; sum != nil {
+					for j, a := range call.Args {
+						if j >= len(sum.ParamSinks) || len(sum.ParamSinks[j]) == 0 {
+							continue
+						}
+						mask := t.exprMask(a)
+						if mask == 0 {
+							continue
+						}
+						for _, flow := range sum.ParamSinks[j] {
+							via := callee.Name
+							if flow.Via != "" {
+								via += " -> " + flow.Via
+							}
+							if strings.Count(via, "->") > 4 {
+								continue
+							}
+							hit(flow.Sink, call.Pos(), mask, via)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (t *taintEngine) sinkArgMask(call *ast.CallExpr, args []int) uint64 {
+	var mask uint64
+	for _, idx := range args {
+		if idx == -1 {
+			for _, a := range call.Args {
+				mask |= t.exprMask(a)
+			}
+			continue
+		}
+		if idx < len(call.Args) {
+			mask |= t.exprMask(call.Args[idx])
+		}
+	}
+	return mask
+}

@@ -76,6 +76,39 @@ func handedOff(url string) (*http.Response, error) {
 	return http.Get(url)
 }
 
+// logStatus takes the response but provably never touches it; its
+// summary marks the parameter unconsumed.
+func logStatus(tag string, resp *http.Response) {
+	_ = tag
+}
+
+// leakThroughHelper hands the response to a helper that ignores it:
+// the handoff cannot close the body, so the leak still reports.
+func leakThroughHelper(url string) error {
+	resp, err := http.Get(url) // want "resp.Body is not closed on every path"
+	if err != nil {
+		return err
+	}
+	logStatus("probe", resp)
+	return nil
+}
+
+// drain really consumes the response, closing its body.
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+}
+
+// handedToDrain is clean: the callee demonstrably takes ownership.
+func handedToDrain(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	drain(resp)
+	return nil
+}
+
 // waived shows the suppression syntax for a hand-verified pattern.
 func waived(url string) (int, error) {
 	resp, err := http.Get(url) //lint:ignore body-leak closed by the package teardown list

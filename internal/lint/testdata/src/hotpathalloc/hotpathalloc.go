@@ -1,0 +1,121 @@
+// Package hotpathalloc is spatial-lint golden-corpus input for the
+// hotpath-alloc interprocedural analyzer: per-instance allocations
+// reachable from the exported Predict entry points.
+package hotpathalloc
+
+import "fmt"
+
+type model struct{ classes int }
+
+// score allocates its result row. It is invoked once per instance from
+// the entry loops, so the whole function body is per-instance work.
+func score(m *model, x []float64) []float64 {
+	dims(m, x)
+	probs := make([]float64, m.classes) // want "make on the serving hot path"
+	for i := range probs {
+		probs[i] = x[i%len(x)]
+	}
+	return probs
+}
+
+// describe builds a per-instance label through Sprintf.
+func describe(i int) string {
+	return fmt.Sprintf("instance-%d", i) // want "fmt.Sprintf on the serving hot path"
+}
+
+// dims guards the kernel; the Sprintf inside panic only runs on the
+// failure path, which stays cold however hot the caller is.
+func dims(m *model, x []float64) {
+	if len(x) < 1 {
+		panic(fmt.Sprintf("want at least 1 feature for %d classes", m.classes))
+	}
+}
+
+// PredictAll is an entry point. Its own slabs carry explicit capacity,
+// so the appends are exempt; the per-instance allocations hide inside
+// the callees the loop invokes.
+func PredictAll(m *model, X [][]float64) ([][]float64, []string) {
+	out := make([][]float64, 0, len(X))
+	labels := make([]string, 0, len(X))
+	for i, x := range X {
+		out = append(out, score(m, x))
+		labels = append(labels, describe(i))
+	}
+	return out, labels
+}
+
+// PredictLexical allocates directly inside its instance loop: the row
+// make and the growth of the uncapped output slice both repeat per
+// instance.
+func PredictLexical(m *model, X [][]float64) [][]float64 {
+	var out [][]float64
+	for _, x := range X {
+		row := make([]float64, m.classes) // want "make on the serving hot path"
+		row[0] = x[0]
+		out = append(out, row) // want "append into uncapped slice on the serving hot path"
+	}
+	return out
+}
+
+type span struct{ name string }
+
+// annotate escapes a struct and concatenates a string per instance.
+func annotate(name string) *span {
+	return &span{name: "span-" + name} // want "heap-escaping &struct literal on the serving hot path" "string concatenation on the serving hot path"
+}
+
+// PredictAnnotated tags every instance; the append is slab-exempt but
+// the Sprint argument allocates per iteration.
+func PredictAnnotated(X [][]float64) []*span {
+	out := make([]*span, 0, len(X))
+	for i := range X {
+		out = append(out, annotate(fmt.Sprint(i))) // want "fmt.Sprint on the serving hot path"
+	}
+	return out
+}
+
+type scorer interface {
+	row(x []float64) []float64
+}
+
+type linear struct{ k int }
+
+// row is reached through the scorer interface; CHA still marks it
+// per-iteration from PredictVia's loop.
+func (l *linear) row(x []float64) []float64 {
+	out := make([]float64, l.k) // want "make on the serving hot path"
+	out[0] = x[0]
+	return out
+}
+
+// PredictVia dispatches through the interface inside the instance loop.
+func PredictVia(s scorer, X [][]float64) [][]float64 {
+	out := make([][]float64, 0, len(X))
+	for _, x := range X {
+		out = append(out, s.row(x))
+	}
+	return out
+}
+
+// PredictServe drains a work channel forever. The event loop is the
+// serving tier's dispatch structure: the per-batch scratch inside it is
+// once-per-batch work, not a per-instance leak.
+func PredictServe(m *model, work <-chan [][]float64, results chan<- [][]float64) {
+	for X := range work {
+		scratch := make([]float64, m.classes)
+		scratch[0] = float64(len(X))
+		out, _ := PredictAll(m, X)
+		results <- out
+	}
+}
+
+// PredictLabeled keeps a reviewed per-instance allocation: the label is
+// part of the response payload, so there is nothing to hoist.
+func PredictLabeled(X [][]float64) []string {
+	out := make([]string, 0, len(X))
+	for i := range X {
+		//lint:ignore hotpath-alloc the per-instance label is the response payload itself
+		out = append(out, "label-"+describe(i))
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+// Package taint is spatial-lint golden-corpus input for the taint-path
+// interprocedural analyzer: request-derived strings flowing into
+// filesystem sinks without sanitization.
+package taint
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+const root = "/var/lib/spatial/models"
+
+// Open feeds a query parameter straight into os.Open: a classic path
+// traversal (?model=../../etc/passwd).
+func Open(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("model")
+	f, err := os.Open(name) // want "request-derived string reaches os.Open without sanitization"
+	if err != nil {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	_ = f.Close()
+}
+
+// Join hides the same defect behind filepath.Join, which cleans the
+// path but does not confine it below root.
+func Join(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("model")
+	full := filepath.Join(root, name) // want "request-derived string reaches filepath.Join without sanitization"
+	if _, err := os.Stat(full); err != nil { // want "request-derived string reaches os.Stat without sanitization"
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+// Lower propagates taint through a strings helper and concatenation
+// before hitting the sink.
+func Lower(w http.ResponseWriter, r *http.Request) {
+	name := strings.ToLower(r.Header.Get("X-Model"))
+	if _, err := os.Stat(root + "/" + name); err != nil { // want "request-derived string reaches os.Stat without sanitization"
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+// readBlob is the helper whose summary carries the flow: both
+// parameters reach filepath.Join, and the joined path reaches
+// os.ReadFile.
+func readBlob(dir, name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(dir, name))
+}
+
+// Fetch never touches a sink directly — the taint travels through
+// readBlob's parameter summary.
+func Fetch(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("model")
+	data, err := readBlob(root, name) // want "reaches filepath.Join \(via taint.readBlob\) without sanitization" "reaches os.ReadFile \(via taint.readBlob\) without sanitization"
+	if err != nil {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	_, _ = w.Write(data)
+}
+
+// Based takes filepath.Base before the sink, which confines the name
+// to a single path element: sanitized, no finding.
+func Based(w http.ResponseWriter, r *http.Request) {
+	name := filepath.Base(r.URL.Query().Get("model"))
+	data, err := readBlob(root, name)
+	if err != nil {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	_, _ = w.Write(data)
+}
+
+// sanitizeModel is a module-local sanitizer; the "sanitize" in its name
+// marks it as a cleaning boundary.
+func sanitizeModel(name string) string {
+	name = filepath.Base(strings.TrimSpace(name))
+	if name == "." || name == ".." {
+		return "default"
+	}
+	return name
+}
+
+// Cleaned routes the request string through the local sanitizer first.
+func Cleaned(w http.ResponseWriter, r *http.Request) {
+	name := sanitizeModel(r.URL.Query().Get("model"))
+	f, err := os.Open(filepath.Join(root, name))
+	if err != nil {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	_ = f.Close()
+}
+
+// Waived is reviewed tainted flow: the handler is only mounted on the
+// localhost admin mux, and the waiver records that.
+func Waived(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("dump")
+	//lint:ignore taint-path admin-only handler bound to localhost; operators may name any path
+	f, err := os.Create(name)
+	if err != nil {
+		http.Error(w, "cannot create", http.StatusInternalServerError)
+		return
+	}
+	_ = f.Close()
+}
+
+// Fixed reads a server-chosen path; the request only selects from an
+// allowlisted map, so nothing request-derived reaches the sink.
+func Fixed(w http.ResponseWriter, r *http.Request) {
+	paths := map[string]string{"iris": root + "/iris.json", "mnist": root + "/mnist.json"}
+	full, ok := paths[r.URL.Query().Get("model")]
+	if !ok {
+		http.Error(w, "unknown model", http.StatusBadRequest)
+		return
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	_, _ = w.Write(data)
+}

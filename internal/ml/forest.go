@@ -203,20 +203,37 @@ func (f *Forest) PredictProbaBatch(X [][]float64) [][]float64 {
 }
 
 // PredictProba implements Classifier by averaging member probabilities.
+// Like the batch path, it traverses each member tree and accumulates the
+// cached leaf distribution directly, rather than calling Tree.PredictProba
+// (which would allocate one probability slice per member per call). The
+// leaf rows carry probaFromCounts' exact arithmetic, so results are
+// bit-identical to averaging the member outputs.
 func (f *Forest) PredictProba(x []float64) []float64 {
 	if len(f.Members) == 0 {
 		panic(ErrNotTrained)
 	}
-	acc := make([]float64, f.classes)
-	for _, t := range f.Members {
-		p := t.PredictProba(x)
-		for i, v := range p {
-			acc[i] += v
+	k := f.classes
+	leaves := f.leafDistributions()
+	//lint:ignore hotpath-alloc the result row is returned; the caller owns it
+	acc := make([]float64, k)
+	for m, t := range f.Members {
+		nodes := t.Nodes
+		ni := 0
+		for nodes[ni].Feature >= 0 {
+			if x[nodes[ni].Feature] <= nodes[ni].Threshold {
+				ni = nodes[ni].Left
+			} else {
+				ni = nodes[ni].Right
+			}
+		}
+		leaf := leaves[m][ni*k : ni*k+k]
+		for c := 0; c < k; c++ {
+			acc[c] += leaf[c]
 		}
 	}
 	inv := 1 / float64(len(f.Members))
-	for i := range acc {
-		acc[i] *= inv
+	for c := range acc {
+		acc[c] *= inv
 	}
 	return acc
 }
