@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fix lint-fix-dry lint-baseline lint-sarif lint-graph test test-short race bench bench-smoke fuzz experiments experiments-quick examples clean
+.PHONY: all build vet lint lint-fix lint-fix-dry lint-baseline lint-sarif lint-graph test test-short race bench bench-all bench-smoke scenario-smoke fuzz experiments experiments-quick examples clean
 
 all: build vet lint test
 
@@ -54,7 +54,13 @@ test-short:
 race:
 	$(GO) test -race -short ./...
 
+# Serving-path benchmarks, recorded: runs the serial-vs-batched serving
+# benchmarks and writes the parsed results to BENCH_serving.json (commit
+# it so throughput history travels with the code).
 bench:
+	$(GO) test -bench=Serving -benchmem -run='^$$' ./internal/serving/ | $(GO) run ./cmd/spatial-benchjson -out BENCH_serving.json
+
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # One iteration of each serving benchmark: compiles the harness, trains
@@ -62,6 +68,13 @@ bench:
 # guard against bit-rot in the throughput experiment.
 bench-smoke:
 	$(GO) test -bench=Serving -benchtime=1x ./internal/serving/
+
+# Deterministic chaos/attack/drift campaigns: run every Smoke-tagged
+# scenario against the virtual world (fake clock, seeded faults) and
+# write one scorecard JSON per scenario into scorecards/. The bytes are
+# reproducible run-to-run, so CI can diff them.
+scenario-smoke:
+	$(GO) run ./cmd/spatial-scenario -smoke -out scorecards
 
 fuzz:
 	$(GO) test -fuzz FuzzReadCSV -fuzztime 30s ./internal/dataset/

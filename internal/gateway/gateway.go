@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/telemetry"
 )
 
@@ -63,6 +64,11 @@ type Config struct {
 	// Tracer records one span per proxied request; a private 1024-span
 	// tracer is created when nil. Served as JSON at /traces.
 	Tracer *telemetry.Tracer
+	// Clock is the time source for request latencies, the circuit
+	// breaker, and the health-check ticker; clock.Real() when nil.
+	// Tests inject clock.Fake so breaker open/half-open/closed
+	// transitions run on a virtual timeline instead of real sleeps.
+	Clock clock.Clock
 }
 
 // upstream is one backend instance of a route.
@@ -113,6 +119,7 @@ type route struct {
 // shuts it down.
 type Gateway struct {
 	cfg Config
+	clk clock.Clock
 
 	mu     sync.RWMutex
 	routes []*route
@@ -162,8 +169,13 @@ func New(cfg Config) *Gateway {
 	if tracer == nil {
 		tracer = telemetry.NewTracer(1024)
 	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real()
+	}
 	g := &Gateway{
 		cfg:     cfg,
+		clk:     clk,
 		tel:     tel,
 		tracer:  tracer,
 		metricH: tel.Handler(),
@@ -193,6 +205,7 @@ func New(cfg Config) *Gateway {
 	}
 	if cfg.CacheTTL > 0 {
 		g.cache = newResponseCache(cfg.CacheTTL, cfg.CacheMaxEntries)
+		g.cache.now = clk.Now
 	}
 	if cfg.RatePerSecond > 0 {
 		burst := cfg.Burst
@@ -203,6 +216,7 @@ func New(cfg Config) *Gateway {
 			}
 		}
 		g.limiter = newRateLimiter(cfg.RatePerSecond, burst)
+		g.limiter.now = clk.Now
 	}
 	return g
 }
@@ -269,7 +283,7 @@ func (g *Gateway) AddRoute(prefix string, policy Balancing, backends ...string) 
 
 func (g *Gateway) onUpstreamFailure(u *upstream) {
 	if int(u.fails.Add(1)) >= g.cfg.BreakerThreshold {
-		u.openUntil.Store(time.Now().Add(g.cfg.BreakerCooldown).UnixNano())
+		u.openUntil.Store(g.clk.Now().Add(g.cfg.BreakerCooldown).UnixNano())
 	}
 }
 
@@ -289,7 +303,7 @@ func (g *Gateway) match(path string) *route {
 
 // pick selects an available upstream per the route policy.
 func (g *Gateway) pick(rt *route) *upstream {
-	now := time.Now()
+	now := g.clk.Now()
 	threshold := int32(g.cfg.BreakerThreshold)
 	candidates := make([]*upstream, 0, len(rt.upstreams))
 	for _, u := range rt.upstreams {
@@ -359,7 +373,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// Trace propagation: adopt the caller's trace (or mint one), then
 	// hand our fresh span to the upstream as its parent so the gateway
 	// hop and the service hop correlate under one trace ID.
-	start := time.Now()
+	start := g.clk.Now()
 	traceID, parentID := telemetry.Extract(r.Header)
 	if traceID == "" {
 		traceID = telemetry.NewTraceID()
@@ -367,7 +381,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	spanID := telemetry.NewSpanID()
 	w.Header().Set(telemetry.HeaderTraceID, traceID)
 	finish := func(status int, cached bool) {
-		elapsed := time.Since(start)
+		elapsed := g.clk.Since(start)
 		rt.requests.Inc()
 		rt.latency.Observe(elapsed.Seconds())
 		if status >= 500 {
@@ -521,7 +535,7 @@ type UpstreamStatus struct {
 func (g *Gateway) RouteMetrics() []RouteMetric {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	now := time.Now().UnixNano()
+	now := g.clk.Now().UnixNano()
 	out := make([]RouteMetric, 0, len(g.routes))
 	for _, rt := range g.routes {
 		m := RouteMetric{
@@ -566,7 +580,7 @@ func (g *Gateway) Start() {
 	}
 	go func() {
 		defer close(g.done)
-		ticker := time.NewTicker(g.cfg.HealthInterval)
+		ticker := g.clk.NewTicker(g.cfg.HealthInterval)
 		defer ticker.Stop()
 		// The probe timeout is decoupled from the probe period: under
 		// CPU saturation a busy-but-healthy service can take far longer
@@ -579,7 +593,7 @@ func (g *Gateway) Start() {
 		client := &http.Client{Timeout: probeTimeout}
 		for {
 			select {
-			case <-ticker.C:
+			case <-ticker.C():
 				g.checkHealth(client)
 			case <-g.stop:
 				return

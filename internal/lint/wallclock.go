@@ -7,7 +7,8 @@ import (
 
 // AnalyzerWallClock flags direct wall-clock reads and timers (time.Now,
 // time.Sleep, time.After, ...) in the packages that committed to the
-// internal/clock injection surface (sensor, loadgen, serving, service).
+// internal/clock injection surface (sensor, loadgen, serving, service,
+// gateway, scenario).
 // Those packages' tests drive schedules with clock.Fake; one raw time
 // call reintroduces scheduler-load-dependent timing and flaky latency
 // assertions. Referencing `time.Now` as a value (the `now: time.Now`
@@ -21,7 +22,8 @@ var AnalyzerWallClock = &Analyzer{
 	Doc:      "flags direct time.Now/Sleep/After/... calls in packages that must route through internal/clock",
 	Severity: SeverityWarn,
 	AppliesTo: func(path string) bool {
-		return pathHasAny(path, "internal/sensor", "internal/loadgen", "internal/serving", "internal/service")
+		return pathHasAny(path, "internal/sensor", "internal/loadgen", "internal/serving", "internal/service",
+			"internal/gateway", "internal/scenario")
 	},
 	Run: runWallClock,
 }

@@ -42,6 +42,16 @@ type StatusError struct {
 // Error implements error, keeping the historical "status NNN" shape.
 func (e *StatusError) Error() string { return fmt.Sprintf("status %d", e.Code) }
 
+// DefaultClientTimeout bounds requests of samplers that did not inject
+// their own client. http.DefaultClient has no timeout at all, so one
+// hung upstream would pin a load-test thread forever and skew every
+// latency percentile behind it.
+const DefaultClientTimeout = 30 * time.Second
+
+// defaultClient is the shared fallback client. Sharing one client (and
+// so one transport) across samplers keeps connection pooling intact.
+var defaultClient = &http.Client{Timeout: DefaultClientTimeout}
+
 // HTTPSampler posts a fixed body to a URL, the typical JMeter "HTTP
 // Request" sampler.
 type HTTPSampler struct {
@@ -49,6 +59,10 @@ type HTTPSampler struct {
 	URL    string
 	Body   []byte
 	Header http.Header
+	// Client overrides the HTTP client (chaos transports, custom
+	// timeouts, test doubles). When nil a shared client with
+	// DefaultClientTimeout is used — never http.DefaultClient, which
+	// would wait on a hung upstream forever.
 	Client *http.Client
 }
 
@@ -56,7 +70,7 @@ type HTTPSampler struct {
 func (s *HTTPSampler) Sample(ctx context.Context) error {
 	client := s.Client
 	if client == nil {
-		client = http.DefaultClient
+		client = defaultClient
 	}
 	method := s.Method
 	if method == "" {

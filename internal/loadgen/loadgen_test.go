@@ -273,3 +273,36 @@ func TestRunRejectsAmbiguousStopCondition(t *testing.T) {
 		t.Fatal("expected error when both Iterations and Duration set")
 	}
 }
+
+// TestHTTPSamplerDefaultClientTimeout: a sampler without an injected
+// client must NOT fall back to http.DefaultClient (no timeout — one hung
+// upstream pins a thread forever); the shared fallback carries
+// DefaultClientTimeout, and an injected client is used as-is.
+func TestHTTPSamplerDefaultClientTimeout(t *testing.T) {
+	if defaultClient == http.DefaultClient {
+		t.Fatal("fallback client is http.DefaultClient")
+	}
+	if defaultClient.Timeout != DefaultClientTimeout {
+		t.Fatalf("fallback timeout %v, want %v", defaultClient.Timeout, DefaultClientTimeout)
+	}
+	if DefaultClientTimeout <= 0 {
+		t.Fatal("DefaultClientTimeout must be positive")
+	}
+
+	// Injected clients are honored: a transport-level stub answers
+	// without any server.
+	injected := &http.Client{Transport: roundTripperFunc(func(r *http.Request) (*http.Response, error) {
+		return &http.Response{StatusCode: http.StatusTeapot, Body: http.NoBody, Request: r}, nil
+	})}
+	s := &HTTPSampler{URL: "http://example.invalid/x", Client: injected}
+	err := s.Sample(context.Background())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTeapot {
+		t.Fatalf("injected client not used: %v", err)
+	}
+}
+
+// roundTripperFunc adapts a function to http.RoundTripper.
+type roundTripperFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripperFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }

@@ -1,0 +1,247 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// ErrInjectedReset is the transport error the client-side chaos
+// transport returns for FaultReset/FaultDown decisions — the in-process
+// stand-in for a TCP RST.
+var ErrInjectedReset = errors.New("scenario: injected connection reset")
+
+// ChaosStats counts the faults a proxy or transport actually injected.
+type ChaosStats struct {
+	Delayed int64 `json:"delayed"`
+	Errored int64 `json:"errored"`
+	Reset   int64 `json:"reset"`
+	Passed  int64 `json:"passed"`
+}
+
+// chaosCore is the fault decision engine shared by the server-side proxy
+// and the client-side transport: a settable Fault plus a seeded RNG so a
+// fixed seed reproduces the same per-request decisions.
+type chaosCore struct {
+	clk clock.Clock
+
+	mu    sync.Mutex
+	fault *Fault
+	rng   *rand.Rand
+
+	delayed atomic.Int64
+	errored atomic.Int64
+	reset   atomic.Int64
+	passed  atomic.Int64
+}
+
+func newChaosCore(clk clock.Clock, seed int64) *chaosCore {
+	if clk == nil {
+		clk = clock.Real()
+	}
+	return &chaosCore{clk: clk, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetFault installs (or, with nil, clears) the active fault. The
+// executor calls this at phase boundaries.
+func (c *chaosCore) SetFault(f *Fault) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f == nil {
+		c.fault = nil
+		return
+	}
+	cp := *f
+	c.fault = &cp
+}
+
+// ActiveFault returns a copy of the installed fault, or nil.
+func (c *chaosCore) ActiveFault() *Fault {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fault == nil {
+		return nil
+	}
+	cp := *c.fault
+	return &cp
+}
+
+// Stats snapshots the injection counters.
+func (c *chaosCore) Stats() ChaosStats {
+	return ChaosStats{
+		Delayed: c.delayed.Load(),
+		Errored: c.errored.Load(),
+		Reset:   c.reset.Load(),
+		Passed:  c.passed.Load(),
+	}
+}
+
+// decision is the resolved fate of one request.
+type decision struct {
+	delay time.Duration
+	code  int  // > 0: answer with this status
+	reset bool // abort the connection
+}
+
+// decide rolls the installed fault for one request.
+func (c *chaosCore) decide() decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := c.fault
+	if f == nil {
+		c.passed.Add(1)
+		return decision{}
+	}
+	if f.Kind == FaultDown {
+		// A downed service refuses everything, no roll.
+		c.reset.Add(1)
+		return decision{reset: true}
+	}
+	if c.rng.Float64() >= f.rate() {
+		c.passed.Add(1)
+		return decision{}
+	}
+	switch f.Kind {
+	case FaultLatency:
+		d := f.Latency.D()
+		if j := f.Jitter.D(); j > 0 {
+			d += time.Duration(c.rng.Int63n(int64(2*j))) - j
+		}
+		if d < 0 {
+			d = 0
+		}
+		c.delayed.Add(1)
+		return decision{delay: d}
+	case FaultErrorBurst:
+		code := f.Code
+		if code == 0 {
+			code = http.StatusServiceUnavailable
+		}
+		c.errored.Add(1)
+		return decision{code: code}
+	case FaultReset:
+		c.reset.Add(1)
+		return decision{reset: true}
+	default:
+		c.passed.Add(1)
+		return decision{}
+	}
+}
+
+// ChaosProxy is the in-process misbehaving-upstream proxy inserted
+// between the gateway and a service: it forwards requests to the target
+// untouched until a Fault is installed, then injects latency, error
+// bursts, connection resets, or a full outage without the upstream's
+// cooperation. It is an http.Handler — mount it on a listener and point
+// the gateway route at that listener instead of the service.
+type ChaosProxy struct {
+	*chaosCore
+	proxy *httputil.ReverseProxy
+}
+
+// NewChaosProxy builds a proxy forwarding to the target base URL. The
+// clock paces injected latency (tests pass clock.Fake); seed fixes the
+// per-request fault rolls.
+func NewChaosProxy(target string, clk clock.Clock, seed int64) (*ChaosProxy, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: chaos target %q: %w", target, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("scenario: chaos target %q must be an absolute URL", target)
+	}
+	return &ChaosProxy{
+		chaosCore: newChaosCore(clk, seed),
+		proxy:     httputil.NewSingleHostReverseProxy(u),
+	}, nil
+}
+
+// ServeHTTP applies the active fault, then (unless the request was
+// consumed by it) forwards to the target.
+func (p *ChaosProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	d := p.decide()
+	if d.reset {
+		// http.ErrAbortHandler makes net/http drop the connection
+		// without a response — the closest in-process stand-in for a
+		// mid-flight TCP reset; the gateway's reverse proxy sees a
+		// transport error and feeds its circuit breaker.
+		panic(http.ErrAbortHandler)
+	}
+	if d.delay > 0 {
+		select {
+		case <-p.clk.After(d.delay):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	if d.code > 0 {
+		http.Error(w, "injected fault", d.code)
+		return
+	}
+	p.proxy.ServeHTTP(w, r)
+}
+
+// chaosTransport is the client-side form of the same fault engine: an
+// http.RoundTripper wrapper the scenario executor installs into the
+// load generator's HTTP client, so a campaign can degrade the network
+// path itself without a second listener.
+type chaosTransport struct {
+	*chaosCore
+	base http.RoundTripper
+}
+
+// NewChaosTransport wraps base (http.DefaultTransport when nil) with the
+// fault engine and returns both the transport and the shared control
+// handle for SetFault/Stats.
+func NewChaosTransport(base http.RoundTripper, clk clock.Clock, seed int64) (http.RoundTripper, *ChaosControl) {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	core := newChaosCore(clk, seed)
+	return &chaosTransport{chaosCore: core, base: base}, &ChaosControl{core}
+}
+
+// ChaosControl is the shared fault-control handle of a chaos transport.
+type ChaosControl struct{ *chaosCore }
+
+// RoundTrip implements http.RoundTripper.
+func (t *chaosTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	d := t.decide()
+	if d.reset {
+		return nil, ErrInjectedReset
+	}
+	if d.delay > 0 {
+		select {
+		case <-t.clk.After(d.delay):
+		case <-r.Context().Done():
+			return nil, r.Context().Err()
+		}
+	}
+	if d.code > 0 {
+		return syntheticResponse(r, d.code), nil
+	}
+	return t.base.RoundTrip(r)
+}
+
+// syntheticResponse fabricates the error response an injecting middlebox
+// would have produced.
+func syntheticResponse(r *http.Request, code int) *http.Response {
+	return &http.Response{
+		Status:     fmt.Sprintf("%d %s", code, http.StatusText(code)),
+		StatusCode: code,
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		Header:     http.Header{"X-Chaos": []string{"injected"}},
+		Body:       http.NoBody,
+		Request:    r,
+	}
+}

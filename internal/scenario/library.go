@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Library is a named, growing collection of scenarios. The package-level
+// default library holds the Go-registered built-ins; JSON-loaded
+// scenarios join the same namespace so the runner treats both uniformly.
+type Library struct {
+	mu        sync.Mutex
+	scenarios map[string]Scenario
+}
+
+// NewLibrary returns an empty library.
+func NewLibrary() *Library {
+	return &Library{scenarios: make(map[string]Scenario)}
+}
+
+// Register validates and adds a scenario; duplicate names are rejected so
+// a JSON file cannot silently shadow a built-in.
+func (l *Library) Register(sc Scenario) error {
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.scenarios[sc.Name]; dup {
+		return fmt.Errorf("scenario: %q already registered", sc.Name)
+	}
+	l.scenarios[sc.Name] = sc
+	return nil
+}
+
+// Get looks up a scenario by name.
+func (l *Library) Get(name string) (Scenario, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	sc, ok := l.scenarios[name]
+	return sc, ok
+}
+
+// Names lists registered scenario names, sorted.
+func (l *Library) Names() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.scenarios))
+	for n := range l.scenarios {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every scenario, name-sorted.
+func (l *Library) All() []Scenario {
+	names := l.Names()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Scenario, 0, len(names))
+	for _, n := range names {
+		out = append(out, l.scenarios[n])
+	}
+	return out
+}
+
+// Smoke returns the deterministic CI subset, name-sorted.
+func (l *Library) Smoke() []Scenario {
+	var out []Scenario
+	for _, sc := range l.All() {
+		if sc.Smoke {
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+// LoadJSON registers every scenario in a JSON array read from r,
+// returning the names added. On any invalid entry nothing before it is
+// rolled back — load errors are configuration errors and abort the run
+// anyway.
+func (l *Library) LoadJSON(r io.Reader) ([]string, error) {
+	var scs []Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&scs); err != nil {
+		return nil, fmt.Errorf("scenario: decode library: %w", err)
+	}
+	names := make([]string, 0, len(scs))
+	for _, sc := range scs {
+		if err := l.Register(sc); err != nil {
+			return names, err
+		}
+		names = append(names, sc.Name)
+	}
+	return names, nil
+}
+
+// defaultLibrary holds the Go-registered built-ins.
+var defaultLibrary = NewLibrary()
+
+// Default returns the package-level library seeded with the built-in
+// scenarios.
+func Default() *Library { return defaultLibrary }
+
+// mustRegister panics on an invalid built-in: the library is compiled
+// in, so a bad entry is a programming error a test catches immediately.
+func mustRegister(l *Library, sc Scenario) {
+	if err := l.Register(sc); err != nil {
+		panic(err)
+	}
+}

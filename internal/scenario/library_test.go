@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func validScenario(name string) Scenario {
+	return Scenario{
+		Name: name,
+		SLO:  SLO{LatencyP95: Duration(100 * time.Millisecond)},
+		Phases: []Phase{
+			{Name: "a", Duration: Duration(time.Second), Shape: Shape{Kind: ShapeSteady, BaseRPS: 10}},
+		},
+	}
+}
+
+func TestLibraryRegisterAndLookup(t *testing.T) {
+	lib := NewLibrary()
+	if err := lib.Register(validScenario("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Register(validScenario("one")); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := lib.Register(Scenario{Name: "broken"}); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+	if _, ok := lib.Get("one"); !ok {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := lib.Get("two"); ok {
+		t.Fatal("phantom scenario")
+	}
+}
+
+func TestLibraryLoadJSON(t *testing.T) {
+	lib := NewLibrary()
+	doc := `[
+	  {
+	    "name": "from-json",
+	    "workload": "synthetic",
+	    "seed": 9,
+	    "slo": {"latencyP95": "150ms", "maxErrorRate": 0.02},
+	    "phases": [
+	      {"name": "warm", "duration": "2s", "shape": {"kind": "steady", "baseRps": 20}},
+	      {"name": "burst", "duration": "3s",
+	       "shape": {"kind": "flash-crowd", "baseRps": 20, "peakRps": 200},
+	       "fault": {"kind": "latency", "rate": 0.5, "latency": "50ms"},
+	       "adversarial": {"kind": "poison-wave", "rate": 0.25, "target": -1}}
+	    ]
+	  }
+	]`
+	names, err := lib.LoadJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "from-json" {
+		t.Fatalf("names: %v", names)
+	}
+	sc, ok := lib.Get("from-json")
+	if !ok {
+		t.Fatal("loaded scenario missing")
+	}
+	if sc.Phases[1].Fault.Latency.D() != 50*time.Millisecond {
+		t.Fatalf("fault latency: %v", sc.Phases[1].Fault.Latency.D())
+	}
+	if sc.Phases[1].Adversarial.Rate != 0.25 {
+		t.Fatalf("adversarial rate: %v", sc.Phases[1].Adversarial.Rate)
+	}
+
+	// Unknown fields are configuration typos, not extensions.
+	if _, err := lib.LoadJSON(strings.NewReader(`[{"name":"x","typo":1}]`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestBuiltinLibraryShape(t *testing.T) {
+	lib := Default()
+	all := lib.All()
+	if len(all) < 6 {
+		t.Fatalf("library has %d scenarios, want >= 6", len(all))
+	}
+	for _, must := range []string{"uc1-fall-poison", "uc2-net-fgsm", "flash-crowd-poison", "error-burst-breaker"} {
+		if _, ok := lib.Get(must); !ok {
+			t.Errorf("missing built-in %q", must)
+		}
+	}
+	uc1, _ := lib.Get("uc1-fall-poison")
+	if uc1.UseCase != "uc1" || uc1.Workload != WorkloadFall {
+		t.Errorf("uc1 scenario misconfigured: usecase=%q workload=%q", uc1.UseCase, uc1.Workload)
+	}
+	uc2, _ := lib.Get("uc2-net-fgsm")
+	if uc2.UseCase != "uc2" || uc2.Workload != WorkloadNetTraffic {
+		t.Errorf("uc2 scenario misconfigured: usecase=%q workload=%q", uc2.UseCase, uc2.Workload)
+	}
+	if len(lib.Smoke()) < 6 {
+		t.Errorf("smoke subset has %d scenarios, want >= 6", len(lib.Smoke()))
+	}
+	// Every built-in must be executable as declared.
+	for _, sc := range all {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("built-in %q invalid: %v", sc.Name, err)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDurationJSONRoundTrip(t *testing.T) {
+	d := Duration(2500 * time.Millisecond)
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"2.5s"` {
+		t.Fatalf("marshal: got %s", b)
+	}
+	var back Duration
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != d {
+		t.Fatalf("round trip: got %v, want %v", back.D(), d.D())
+	}
+	// Numeric nanoseconds are accepted too (hand-written JSON).
+	if err := json.Unmarshal([]byte(`1500000000`), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.D() != 1500*time.Millisecond {
+		t.Fatalf("numeric: got %v", back.D())
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &back); err == nil {
+		t.Fatal("expected error for bogus duration string")
+	}
+}
+
+func TestShapeRPS(t *testing.T) {
+	phase := 10 * time.Second
+
+	steady := Shape{Kind: ShapeSteady, BaseRPS: 40}
+	if got := steady.RPS(3*time.Second, phase, 0.5); got != 40 {
+		t.Fatalf("steady: got %v", got)
+	}
+
+	ramp := Shape{Kind: ShapeRamp, BaseRPS: 10, PeakRPS: 110}
+	if got := ramp.RPS(0, phase, 0.5); got != 10 {
+		t.Fatalf("ramp start: got %v", got)
+	}
+	if got := ramp.RPS(5*time.Second, phase, 0.5); math.Abs(got-60) > 1e-9 {
+		t.Fatalf("ramp mid: got %v", got)
+	}
+
+	di := Shape{Kind: ShapeDiurnal, BaseRPS: 20, PeakRPS: 80, Period: Duration(phase)}
+	if got := di.RPS(0, phase, 0.5); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("diurnal trough: got %v", got)
+	}
+	if got := di.RPS(5*time.Second, phase, 0.5); math.Abs(got-80) > 1e-9 {
+		t.Fatalf("diurnal crest: got %v", got)
+	}
+
+	fc := Shape{Kind: ShapeFlashCrowd, BaseRPS: 40, PeakRPS: 300, PeakAt: 0.5, PeakWidth: 0.2}
+	if got := fc.RPS(time.Second, phase, 0.5); got != 40 {
+		t.Fatalf("flash-crowd before spike: got %v", got)
+	}
+	if got := fc.RPS(5*time.Second, phase, 0.5); got <= 40 {
+		t.Fatalf("flash-crowd at spike: got %v", got)
+	}
+
+	ht := Shape{Kind: ShapeHeavyTail, BaseRPS: 50, PeakRPS: 500, Alpha: 1.5}
+	// burstU near 1 -> multiplier near 1 -> base rate.
+	if got := ht.RPS(0, phase, 0.999999); math.Abs(got-50) > 1 {
+		t.Fatalf("heavy-tail calm: got %v", got)
+	}
+	// burstU near 0 -> Pareto blow-up, capped at the peak.
+	if got := ht.RPS(0, phase, 1e-12); got != 500 {
+		t.Fatalf("heavy-tail burst cap: got %v", got)
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	ok := Scenario{
+		Name: "t",
+		SLO:  SLO{LatencyP95: Duration(100 * time.Millisecond)},
+		Phases: []Phase{
+			{Name: "a", Duration: Duration(time.Second), Shape: Shape{Kind: ShapeSteady, BaseRPS: 10}},
+		},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+
+	bad := []Scenario{
+		{},                       // no name
+		{Name: "x", SLO: ok.SLO}, // no phases
+		{Name: "x", SLO: SLO{}, Phases: ok.Phases},                    // no SLO latency
+		{Name: "x", SLO: ok.SLO, Workload: "nope", Phases: ok.Phases}, // unknown workload
+		{Name: "x", SLO: ok.SLO, Phases: []Phase{ // duplicate phase names
+			{Name: "a", Duration: Duration(time.Second), Shape: Shape{Kind: ShapeSteady, BaseRPS: 1}},
+			{Name: "a", Duration: Duration(time.Second), Shape: Shape{Kind: ShapeSteady, BaseRPS: 1}},
+		}},
+		{Name: "x", SLO: ok.SLO, Phases: []Phase{ // bad fault kind
+			{Name: "a", Duration: Duration(time.Second), Shape: Shape{Kind: ShapeSteady, BaseRPS: 1},
+				Fault: &Fault{Kind: "meteor"}},
+		}},
+		{Name: "x", SLO: ok.SLO, Phases: []Phase{ // bad adversarial kind
+			{Name: "a", Duration: Duration(time.Second), Shape: Shape{Kind: ShapeSteady, BaseRPS: 1},
+				Adversarial: &Adversarial{Kind: "meteor"}},
+		}},
+	}
+	for i, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("bad scenario %d accepted", i)
+		}
+	}
+}
