@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fix lint-fix-dry lint-baseline lint-sarif lint-graph test test-short race bench bench-all bench-smoke scenario-smoke fuzz experiments experiments-quick examples clean
+.PHONY: all build vet lint lint-fix lint-fix-dry lint-baseline lint-sarif lint-graph test test-short race bench bench-all bench-smoke scenario-smoke fuzz experiments experiments-quick examples clean perfgate perfgate-static perfgate-manifest
 
 all: build vet lint test
 
@@ -55,10 +55,36 @@ race:
 	$(GO) test -race -short ./...
 
 # Serving-path benchmarks, recorded: runs the serial-vs-batched serving
-# benchmarks and writes the parsed results to BENCH_serving.json (commit
-# it so throughput history travels with the code).
+# benchmarks with enough repetitions for the perfgate comparator's
+# Mann-Whitney test, writes the parsed results to BENCH_serving.json, and
+# appends a commit-stamped entry to BENCH_trajectory.json (commit both so
+# throughput history travels with the code).
+BENCH_COUNT ?= 6
 bench:
-	$(GO) test -bench=Serving -benchmem -run='^$$' ./internal/serving/ | $(GO) run ./cmd/spatial-benchjson -out BENCH_serving.json
+	$(GO) test -bench=Serving -benchmem -count=$(BENCH_COUNT) -run='^$$' ./internal/serving/ \
+		| $(GO) run ./cmd/spatial-benchjson -out BENCH_serving.json \
+			-trajectory BENCH_trajectory.json -commit $$(git rev-parse --short HEAD)
+
+# Perf verification, both halves: the static compiler-diagnostics gate
+# (hot-set functions vs .perf-manifest.json contracts) plus a fresh
+# benchmark run compared against the committed BENCH_serving.json with a
+# noise band (5%) and a regression gate (10%, Mann-Whitney-vetoed when
+# sample counts allow). Artifacts: perfgate-report.json, BENCH_fresh.json.
+perfgate:
+	$(GO) test -bench=Serving -benchmem -count=$(BENCH_COUNT) -run='^$$' ./internal/serving/ \
+		| $(GO) run ./cmd/spatial-benchjson -out BENCH_fresh.json
+	$(GO) run ./cmd/spatial-perfgate -report perfgate-report.json \
+		-bench-old BENCH_serving.json -bench-new BENCH_fresh.json
+
+# Static half only (no benchmarks): cheap enough for every push.
+perfgate-static:
+	$(GO) run ./cmd/spatial-perfgate -report perfgate-report.json
+
+# Re-snapshot the optimization contracts after reviewing a deliberate
+# change to the hot path (ratchet: the new observed state becomes the
+# promise). Review the diff before committing.
+perfgate-manifest:
+	$(GO) run ./cmd/spatial-perfgate -write-manifest
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...

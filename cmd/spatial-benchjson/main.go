@@ -5,43 +5,31 @@
 // Usage:
 //
 //	go test -bench=Serving -benchmem -run='^$' ./internal/serving/ |
-//	  spatial-benchjson -out BENCH_serving.json
+//	  spatial-benchjson -out BENCH_serving.json \
+//	    -trajectory BENCH_trajectory.json -commit "$(git rev-parse --short HEAD)"
 //
 // The raw benchmark lines are echoed to stderr so the terminal still
-// shows progress while the JSON goes to the file.
+// shows progress while the JSON goes to the file. Parsing is strict: a
+// malformed Benchmark line, a FAIL, or an empty run exits nonzero and
+// writes nothing, so a truncated run can never silently replace the
+// committed baseline with a partial document. Lines without -benchmem
+// columns parse fine.
+//
+// With -trajectory, the run is also appended to the named history file
+// stamped with goos/goarch/cpu and the -commit/-date provenance, so the
+// throughput trajectory across PRs is a committed, diffable artifact
+// (re-runs at the same commit on the same machine replace their entry
+// instead of duplicating it).
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
-	"strconv"
-	"strings"
+	"time"
+
+	"repro/internal/benchfmt"
 )
-
-// Result is one parsed benchmark line.
-type Result struct {
-	Name        string  `json:"name"`
-	Procs       int     `json:"procs"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"nsPerOp"`
-	BytesPerOp  int64   `json:"bytesPerOp,omitempty"`
-	AllocsPerOp int64   `json:"allocsPerOp,omitempty"`
-	// Extra holds any custom -benchmem style metrics (unit -> value).
-	Extra map[string]float64 `json:"extra,omitempty"`
-}
-
-// Document is the file layout.
-type Document struct {
-	Goos       string   `json:"goos,omitempty"`
-	Goarch     string   `json:"goarch,omitempty"`
-	Pkg        string   `json:"pkg,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Benchmarks []Result `json:"benchmarks"`
-}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -53,92 +41,42 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("spatial-benchjson", flag.ContinueOnError)
 	out := fs.String("out", "", "output file (default stdout)")
+	trajectory := fs.String("trajectory", "", "append the run to this committed history file")
+	commit := fs.String("commit", "", "commit stamp for the trajectory entry (e.g. git rev-parse --short HEAD)")
+	date := fs.String("date", "", "date stamp for the trajectory entry (default today, YYYY-MM-DD)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	doc := Document{Benchmarks: []Result{}}
-	sc := bufio.NewScanner(os.Stdin)
-	for sc.Scan() {
-		line := sc.Text()
-		fmt.Fprintln(os.Stderr, line)
-		switch {
-		case strings.HasPrefix(line, "goos: "):
-			doc.Goos = strings.TrimPrefix(line, "goos: ")
-		case strings.HasPrefix(line, "goarch: "):
-			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
-		case strings.HasPrefix(line, "pkg: "):
-			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
-		case strings.HasPrefix(line, "cpu: "):
-			doc.CPU = strings.TrimPrefix(line, "cpu: ")
-		case strings.HasPrefix(line, "Benchmark"):
-			if r, ok := parseBench(line); ok {
-				doc.Benchmarks = append(doc.Benchmarks, r)
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
-	if len(doc.Benchmarks) == 0 {
-		return fmt.Errorf("no benchmark lines on stdin (run with `go test -bench=... | spatial-benchjson`)")
-	}
-	sort.Slice(doc.Benchmarks, func(i, j int) bool {
-		return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name
-	})
-
-	buf, err := json.MarshalIndent(doc, "", "  ")
+	doc, err := benchfmt.ParseStream(os.Stdin, os.Stderr)
 	if err != nil {
 		return err
 	}
-	buf = append(buf, '\n')
+
+	buf, err := doc.Marshal()
+	if err != nil {
+		return err
+	}
 	if *out == "" {
-		_, err := os.Stdout.Write(buf)
+		if _, err := os.Stdout.Write(buf); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(*out, buf, 0o644)
-}
 
-// parseBench parses one benchmark result line:
-//
-//	BenchmarkName-8   123  456.7 ns/op  89 B/op  2 allocs/op  1.5 rows/s
-func parseBench(line string) (Result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 3 {
-		return Result{}, false
-	}
-	name := fields[0]
-	r := Result{Name: name, Procs: 1}
-	if i := strings.LastIndex(name, "-"); i > 0 {
-		if p, err := strconv.Atoi(name[i+1:]); err == nil {
-			r.Name = name[:i]
-			r.Procs = p
-		}
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Result{}, false
-	}
-	r.Iterations = iters
-	// The rest come in value/unit pairs.
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
+	if *trajectory != "" {
+		tr, err := benchfmt.LoadTrajectory(*trajectory)
 		if err != nil {
-			continue
+			return err
 		}
-		switch fields[i+1] {
-		case "ns/op":
-			r.NsPerOp = v
-		case "B/op":
-			r.BytesPerOp = int64(v)
-		case "allocs/op":
-			r.AllocsPerOp = int64(v)
-		default:
-			if r.Extra == nil {
-				r.Extra = make(map[string]float64)
-			}
-			r.Extra[fields[i+1]] = v
+		when := *date
+		if when == "" {
+			when = time.Now().UTC().Format("2006-01-02")
+		}
+		if err := tr.Append(*trajectory, doc, *commit, when); err != nil {
+			return err
 		}
 	}
-	return r, r.NsPerOp > 0
+	return nil
 }

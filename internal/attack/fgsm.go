@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/ml"
+
+	"repro/internal/clock"
 )
 
 // FGSMResult carries the adversarial variants of a dataset plus the
@@ -34,7 +36,7 @@ func FGSM(model ml.GradientClassifier, t *dataset.Table, eps float64) (FGSMResul
 		return FGSMResult{}, fmt.Errorf("attack: fgsm on empty dataset")
 	}
 	out := t.Clone()
-	start := time.Now()
+	start := clock.Real().Now()
 	for i, x := range out.X {
 		grad := model.InputGradient(x, out.Y[i])
 		for j, g := range grad {
@@ -46,7 +48,7 @@ func FGSM(model ml.GradientClassifier, t *dataset.Table, eps float64) (FGSMResul
 			}
 		}
 	}
-	elapsed := time.Since(start)
+	elapsed := clock.Real().Since(start)
 	return FGSMResult{
 		Adversarial: out,
 		CraftCost:   elapsed / time.Duration(t.Len()),

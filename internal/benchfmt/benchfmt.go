@@ -1,0 +1,204 @@
+// Package benchfmt parses `go test -bench` text output into a stable
+// JSON document and maintains the committed benchmark history. It is
+// shared by cmd/spatial-benchjson (which records `make bench` runs) and
+// internal/perfgate (which gates fresh runs against the committed
+// baseline), so both sides agree byte-for-byte on what a benchmark
+// result is.
+//
+// Parsing is strict: a line that starts with "Benchmark" but does not
+// parse as a result line is an error, not a silently dropped record — a
+// truncated or failed benchmark run must not overwrite the committed
+// baseline with a partial document. Lines without -benchmem columns are
+// fine (B/op and allocs/op are optional); so are custom
+// testing.B.ReportMetric units.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line. Repeated -count runs of the same
+// benchmark produce one Result per run; consumers treat same-name
+// results as samples of one distribution.
+type Result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp,omitempty"`
+	AllocsPerOp int64   `json:"allocsPerOp,omitempty"`
+	// hasAllocs distinguishes "measured zero allocations" from "ran
+	// without -benchmem"; it is parse-time state, not serialized.
+	hasAllocs bool
+	// Extra holds any custom ReportMetric units (unit -> value).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// HasAllocs reports whether the line carried -benchmem columns.
+func (r *Result) HasAllocs() bool { return r.hasAllocs }
+
+// Document is the file layout of BENCH_*.json snapshots.
+type Document struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Samples groups the document's results by benchmark name, preserving
+// run order within each name (the -count sample order).
+func (d *Document) Samples() map[string][]Result {
+	out := make(map[string][]Result)
+	for _, r := range d.Benchmarks {
+		out[r.Name] = append(out[r.Name], r)
+	}
+	return out
+}
+
+// ParseError records one malformed benchmark line.
+type ParseError struct {
+	LineNum int
+	Line    string
+	Reason  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("line %d: %s: %q", e.LineNum, e.Reason, e.Line)
+}
+
+// ParseStream reads `go test -bench` output from r, echoing every line
+// to echo (pass io.Discard to silence), and returns the parsed document.
+// Any malformed Benchmark line makes the whole parse fail: the returned
+// error wraps every ParseError encountered, and the document should not
+// be written anywhere. Benchmarks are sorted by name (stably, so -count
+// sample order survives).
+func ParseStream(r io.Reader, echo io.Writer) (*Document, error) {
+	doc := &Document{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var errs []string
+	lineNum := 0
+	for sc.Scan() {
+		lineNum++
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			r, err := ParseLine(line)
+			if err != nil {
+				errs = append(errs, (&ParseError{LineNum: lineNum, Line: line, Reason: err.Error()}).Error())
+				continue
+			}
+			doc.Benchmarks = append(doc.Benchmarks, r)
+		case strings.Contains(line, "--- FAIL") || strings.HasPrefix(line, "FAIL"):
+			errs = append(errs, (&ParseError{LineNum: lineNum, Line: line, Reason: "benchmark run failed"}).Error())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("benchfmt: %d unparseable line(s):\n  %s", len(errs), strings.Join(errs, "\n  "))
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchfmt: no benchmark lines in input")
+	}
+	sort.SliceStable(doc.Benchmarks, func(i, j int) bool {
+		return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name
+	})
+	return doc, nil
+}
+
+// ParseLine parses one benchmark result line:
+//
+//	BenchmarkName-8   123  456.7 ns/op  89 B/op  2 allocs/op  1.5 rows/s
+//
+// The -benchmem columns and custom units are optional; the iteration
+// count and at least one value/unit metric pair are not. A line whose
+// name parses but whose body does not (a crashed benchmark, interleaved
+// output, a truncated pipe) returns an error.
+func ParseLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, fmt.Errorf("want >= 4 fields (name, iterations, value, unit), got %d", len(fields))
+	}
+	name := fields[0]
+	r := Result{Name: name, Procs: 1}
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			r.Name = name[:i]
+			r.Procs = p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("iteration count %q is not an integer", fields[1])
+	}
+	r.Iterations = iters
+	// The rest come in value/unit pairs.
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Result{}, fmt.Errorf("odd metric tail %q (value without unit)", strings.Join(rest, " "))
+	}
+	for i := 0; i+1 < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("metric value %q for unit %q is not a number", rest[i], rest[i+1])
+		}
+		switch rest[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+			r.hasAllocs = true
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+			r.hasAllocs = true
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[rest[i+1]] = v
+		}
+	}
+	return r, nil
+}
+
+// Marshal renders the document in the committed snapshot form:
+// two-space indent, trailing newline, map keys sorted.
+func (d *Document) Marshal() ([]byte, error) {
+	buf, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// Load reads a snapshot document from path.
+func Load(path string) (*Document, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Document
+	if err := json.Unmarshal(buf, &d); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	return &d, nil
+}

@@ -1,0 +1,76 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Trajectory is the committed benchmark history: one entry per recorded
+// `make bench` run, appended in run order so the throughput trajectory
+// is diffable across PRs instead of each run overwriting the last.
+type Trajectory struct {
+	// Entries are the recorded runs, oldest first.
+	Entries []TrajectoryEntry `json:"entries"`
+}
+
+// TrajectoryEntry is one recorded run, stamped with enough provenance
+// (commit, machine, toolchain) to judge whether two entries are
+// comparable.
+type TrajectoryEntry struct {
+	// Commit is the git commit the run was recorded at (short hash; the
+	// recorder passes it in — this package does not shell out).
+	Commit string `json:"commit,omitempty"`
+	// Date is the recorder-supplied run date (YYYY-MM-DD); kept coarse so
+	// back-to-back re-runs of an unchanged tree stay diff-quiet.
+	Date string `json:"date,omitempty"`
+	// Goos, Goarch, and CPU identify the machine, copied from the run's
+	// document header.
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Benchmarks are the run's results (same layout as the snapshot).
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// LoadTrajectory reads the history at path; a missing file is an empty
+// history, any other read or decode error is returned.
+func LoadTrajectory(path string) (*Trajectory, error) {
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Trajectory{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var t Trajectory
+	if err := json.Unmarshal(buf, &t); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	return &t, nil
+}
+
+// Append records doc as a new entry stamped with commit and date, and
+// rewrites path. When the latest entry has the same commit, machine, and
+// results it is replaced instead of duplicated, so re-running
+// `make bench` on an unchanged tree does not grow the history.
+func (t *Trajectory) Append(path string, doc *Document, commit, date string) error {
+	e := TrajectoryEntry{
+		Commit:     commit,
+		Date:       date,
+		Goos:       doc.Goos,
+		Goarch:     doc.Goarch,
+		CPU:        doc.CPU,
+		Benchmarks: doc.Benchmarks,
+	}
+	if n := len(t.Entries); n > 0 && t.Entries[n-1].Commit == commit && t.Entries[n-1].CPU == doc.CPU {
+		t.Entries[n-1] = e
+	} else {
+		t.Entries = append(t.Entries, e)
+	}
+	buf, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"repro/internal/sensor"
+
+	"repro/internal/clock"
 )
 
 // Requirements is the certification scale the paper's §VIII calls for:
@@ -66,7 +68,7 @@ func Certify(rep TrustReport, req Requirements) (Certificate, error) {
 		}
 	}
 	cert := Certificate{
-		Issued:       time.Now().UTC(),
+		Issued:       clock.Real().Now().UTC(),
 		Score:        rep.Score,
 		PerProperty:  rep.PerProperty,
 		Requirements: req,

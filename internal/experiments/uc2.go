@@ -10,6 +10,8 @@ import (
 	"repro/internal/ml"
 	"repro/internal/resilience"
 	"repro/internal/xai"
+
+	"repro/internal/clock"
 )
 
 // UC2BaselineResult reproduces the §VII sentence "NN (96%), LightGBM (94%)
@@ -260,14 +262,14 @@ func Fig7(cfg Config) (Fig7Result, error) {
 		apply func(rate float64) (*dataset.Table, time.Duration, error)
 	}{
 		{"label-flip", func(rate float64) (*dataset.Table, time.Duration, error) {
-			start := time.Now() //lint:ignore nondeterminism wall-clock timing is reported as craft latency, never seeds data
+			start := clock.Real().Now()
 			t, err := attack.LabelFlip(train, rate, cfg.seed())
-			return t, time.Since(start), err
+			return t, clock.Real().Since(start), err
 		}},
 		{"label-swap", func(rate float64) (*dataset.Table, time.Duration, error) {
-			start := time.Now() //lint:ignore nondeterminism wall-clock timing is reported as craft latency, never seeds data
+			start := clock.Real().Now()
 			t, err := attack.RandomSwap(train, rate, cfg.seed())
-			return t, time.Since(start), err
+			return t, clock.Real().Since(start), err
 		}},
 	}
 
@@ -308,12 +310,12 @@ func Fig7(cfg Config) (Fig7Result, error) {
 	if cfg.Quick {
 		ganCount = 1200
 	}
-	ganStart := time.Now() //lint:ignore nondeterminism wall-clock timing is reported as craft latency, never seeds data
+	ganStart := clock.Real().Now()
 	ganPoisoned, err := attack.PoisonSynthetic(train, ganCount, 1.0, cfg.seed())
 	if err != nil {
 		return Fig7Result{}, fmt.Errorf("gan poisoning: %w", err)
 	}
-	ganCraft := time.Since(ganStart)
+	ganCraft := clock.Real().Since(ganStart)
 	ganModel, err := fitByName("nn", ganPoisoned, cfg.seed())
 	if err != nil {
 		return Fig7Result{}, err

@@ -4,7 +4,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 )
 
 // AnalyzerHotPathAlloc walks the call graph from the serving entry
@@ -26,78 +25,22 @@ var AnalyzerHotPathAlloc = &Analyzer{
 }
 
 func runHotPathAlloc(pp *ProgramPass) {
-	prog := pp.Prog
-
-	// Entry points: exported Predict* declarations in the serving tier
-	// (and the check's own corpus).
-	var entries []*Node
-	for _, n := range prog.Nodes {
-		if n.Decl == nil || n.Body() == nil {
-			continue
-		}
-		if !pathHasAny(n.Pkg.Path, "serving", "hotpathalloc") {
-			continue
-		}
-		name := n.Decl.Name.Name
-		if strings.HasPrefix(name, "Predict") && ast.IsExported(name) {
-			entries = append(entries, n)
-		}
-	}
-	if len(entries) == 0 {
+	// Reachability closure from exported Predict* declarations in the
+	// serving tier (and the check's own corpus). Only the discovery entry
+	// goes into the message — a full call chain would make baseline
+	// fingerprints break on every unrelated rename along the path (the
+	// -graph DOT dump serves the debugging need instead).
+	hot := pp.Prog.HotSet(ServingEntry)
+	if len(hot.Entries) == 0 {
 		return
 	}
-
-	// BFS: reachable set plus a per-iteration flag that turns on when an
-	// edge sits inside a data loop and stays on downstream. prev records
-	// the discovery edge for the report's reachability chain.
-	reachable := make(map[*Node]bool)
-	perIter := make(map[*Node]bool)
-	prev := make(map[*Node]*Node)
-	queue := make([]*Node, 0, len(entries))
-	for _, e := range entries {
-		reachable[e] = true
-		queue = append(queue, e)
-	}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, e := range u.Out {
-			v := e.Callee
-			// A `go` edge does not inherit the iteration context: a loop
-			// spawning N workers runs each worker body once per worker
-			// lifetime, not once per served instance.
-			iter := (perIter[u] || e.InDataLoop) && e.Kind != CallGo
-			if !reachable[v] {
-				reachable[v] = true
-				perIter[v] = iter
-				prev[v] = u
-				queue = append(queue, v)
-			} else if iter && !perIter[v] {
-				perIter[v] = true
-				queue = append(queue, v)
-			}
-		}
-	}
-
 	seen := make(map[token.Pos]bool)
-	for _, n := range prog.Nodes {
-		if !reachable[n] || n.Body() == nil {
+	for _, hf := range hot.Funcs() {
+		if hf.Node.Body() == nil {
 			continue
 		}
-		scanHotAllocs(pp, n, perIter[n], entryOf(prev, n), seen)
+		scanHotAllocs(pp, hf.Node, hf.PerIter, hf.Entry.Name, seen)
 	}
-}
-
-// entryOf walks the BFS discovery tree back to the entry point. Only the
-// entry goes into the message — a full call chain would make baseline
-// fingerprints break on every unrelated rename along the path (the
-// -graph DOT dump serves the debugging need instead).
-func entryOf(prev map[*Node]*Node, n *Node) string {
-	cur := n
-	for prev[cur] != nil {
-		cur = prev[cur]
-	}
-	return cur.Name
 }
 
 // scanHotAllocs walks one hot-path function body and reports each

@@ -1,0 +1,79 @@
+package ml
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// perfManifest mirrors the slice of ../../.perf-manifest.json this test
+// consumes (the allocBudgets section spatial-perfgate's generator carries
+// over verbatim). Decoding it here instead of importing internal/perfgate
+// keeps the dependency arrow pointing from the gate to the kernels, not
+// back.
+type perfManifest struct {
+	AllocBudgets map[string]struct {
+		Func           string  `json:"func"`
+		MaxAllocsPerOp float64 `json:"maxAllocsPerOp"`
+	} `json:"allocBudgets"`
+}
+
+// allocPaths is the fixed set of predict paths this test knows how to
+// measure, keyed exactly as the manifest's allocBudgets section. fit
+// returns the warmed-up measurement closure for the path.
+var allocPaths = map[string]func(f *Forest, g *GBDT, x []float64, batch [][]float64) func(){
+	"forest/serial":  func(f *Forest, _ *GBDT, x []float64, _ [][]float64) func() { return func() { f.PredictProba(x) } },
+	"forest/batched": func(f *Forest, _ *GBDT, _ []float64, b [][]float64) func() { return func() { f.PredictProbaBatch(b) } },
+	"gbdt/serial":    func(_ *Forest, g *GBDT, x []float64, _ [][]float64) func() { return func() { g.PredictProba(x) } },
+	"gbdt/batched":   func(_ *Forest, g *GBDT, _ []float64, b [][]float64) func() { return func() { g.PredictProbaBatch(b) } },
+}
+
+// TestPredictAllocBudgets asserts the serial and batched Forest/GBDT
+// predict paths stay within the allocation ceilings committed in
+// .perf-manifest.json, and that the manifest and this test agree on the
+// path set — a budget without a measurement (or vice versa) fails, so
+// neither side can silently drift.
+func TestPredictAllocBudgets(t *testing.T) {
+	buf, err := os.ReadFile("../../.perf-manifest.json")
+	if err != nil {
+		t.Fatalf("reading perf manifest (regenerate with make perfgate-manifest): %v", err)
+	}
+	var m perfManifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		t.Fatalf("perf manifest: %v", err)
+	}
+	if len(m.AllocBudgets) == 0 {
+		t.Fatal("perf manifest has no allocBudgets section")
+	}
+	for key := range m.AllocBudgets {
+		if allocPaths[key] == nil {
+			t.Errorf("manifest budgets %q but this test cannot measure it; teach allocPaths about it", key)
+		}
+	}
+
+	data := blobs(7, 238, 6, 3, 1.5)
+	f := NewForest(ForestConfig{Trees: 20, MaxDepth: 8, MinLeaf: 1, MaxFeatures: -1, Seed: 1})
+	g := NewGBDT(DefaultLightGBMConfig())
+	if err := f.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	x := data.X[0]
+	batch := data.X[:32]
+	f.PredictProbaBatch(batch) // build the leaf-distribution cache outside the measurement
+
+	for key, mk := range allocPaths {
+		budget, ok := m.AllocBudgets[key]
+		if !ok {
+			t.Errorf("predict path %q has no allocBudgets entry in .perf-manifest.json", key)
+			continue
+		}
+		got := testing.AllocsPerRun(200, mk(f, g, x, batch))
+		if got > budget.MaxAllocsPerOp {
+			t.Errorf("%s (%s): %v allocs/op exceeds committed budget %v",
+				key, budget.Func, got, budget.MaxAllocsPerOp)
+		}
+	}
+}

@@ -179,12 +179,14 @@ func (f *Forest) PredictProbaBatch(X [][]float64) [][]float64 {
 		probs := leaves[m]
 		for i, x := range X {
 			ni := 0
-			for nodes[ni].Feature >= 0 {
-				if x[nodes[ni].Feature] <= nodes[ni].Threshold {
-					ni = nodes[ni].Left
+			nd := &nodes[0]
+			for nd.Feature >= 0 {
+				if x[nd.Feature] <= nd.Threshold {
+					ni = nd.Left
 				} else {
-					ni = nodes[ni].Right
+					ni = nd.Right
 				}
+				nd = &nodes[ni]
 			}
 			row := out[i]
 			leaf := probs[ni*k : ni*k+k]
@@ -219,12 +221,14 @@ func (f *Forest) PredictProba(x []float64) []float64 {
 	for m, t := range f.Members {
 		nodes := t.Nodes
 		ni := 0
-		for nodes[ni].Feature >= 0 {
-			if x[nodes[ni].Feature] <= nodes[ni].Threshold {
-				ni = nodes[ni].Left
+		nd := &nodes[0]
+		for nd.Feature >= 0 {
+			if x[nd.Feature] <= nd.Threshold {
+				ni = nd.Left
 			} else {
-				ni = nodes[ni].Right
+				ni = nd.Right
 			}
+			nd = &nodes[ni]
 		}
 		leaf := leaves[m][ni*k : ni*k+k]
 		for c := 0; c < k; c++ {

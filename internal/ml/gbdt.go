@@ -199,7 +199,9 @@ func (g *GBDT) PredictProba(x []float64) []float64 {
 		}
 		logits[c] = s
 	}
-	return mat.Softmax(logits, nil)
+	// In-place softmax: Softmax reads each index before writing it, so
+	// aliasing dst with logits is exact and saves the second allocation.
+	return mat.Softmax(logits, logits)
 }
 
 // PredictProbaBatch implements BatchPredictor with a tree-major

@@ -1,0 +1,185 @@
+package perfgate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/benchfmt"
+)
+
+// BenchOptions tunes the comparator's noise handling.
+type BenchOptions struct {
+	// Noise is the relative ns/op band treated as measurement noise;
+	// deltas inside ±Noise are "ok" regardless of significance.
+	Noise float64
+	// FailOn is the relative regression at which the gate fails. Deltas
+	// between Noise and FailOn are reported as "worse" but do not gate —
+	// the committed trajectory makes slow creep visible across PRs.
+	FailOn float64
+	// Alpha is the Mann-Whitney significance level; a regression beyond
+	// FailOn with p >= Alpha (when both sides carry enough samples) is
+	// downgraded to "worse" as likely noise.
+	Alpha float64
+}
+
+// DefaultBenchOptions matches the acceptance gate: ignore ±5%, fail at
+// +10%, require p < 0.05 when samples permit a test.
+func DefaultBenchOptions() BenchOptions {
+	return BenchOptions{Noise: 0.05, FailOn: 0.10, Alpha: 0.05}
+}
+
+// BenchComparison is the comparator's report.
+type BenchComparison struct {
+	// Comparable is false when the two documents were recorded on
+	// different machines (goos/goarch/cpu mismatch); rows are still
+	// computed for the report, but nothing gates.
+	Comparable bool   `json:"comparable"`
+	Reason     string `json:"reason,omitempty"`
+	Rows       []BenchRow
+	// Regressions counts gating rows (always 0 when !Comparable).
+	Regressions int `json:"regressions"`
+}
+
+// BenchRow is one benchmark's old-vs-new comparison.
+type BenchRow struct {
+	Name string `json:"name"`
+	// OldNs and NewNs are median ns/op; OldN and NewN the sample counts.
+	OldNs float64 `json:"oldNs"`
+	NewNs float64 `json:"newNs"`
+	OldN  int     `json:"oldN"`
+	NewN  int     `json:"newN"`
+	// Delta is (new-old)/old; P the Mann-Whitney two-sided p-value, -1
+	// when either side lacks the samples for a test.
+	Delta float64 `json:"delta"`
+	P     float64 `json:"p"`
+	// AllocDelta is the change in allocs/op medians (exact counters, not
+	// subject to timing noise); 0 when allocs were not recorded.
+	AllocDelta float64 `json:"allocDelta,omitempty"`
+	// Verdict is "ok", "improved", "worse", "regression", "alloc-regression",
+	// "new", or "vanished". Only "regression" and "alloc-regression" gate.
+	Verdict string `json:"verdict"`
+	Note    string `json:"note,omitempty"`
+}
+
+// CompareBench diffs a fresh run against the committed baseline.
+func CompareBench(oldDoc, newDoc *benchfmt.Document, opts BenchOptions) *BenchComparison {
+	cmp := &BenchComparison{Comparable: true}
+	if oldDoc.CPU != newDoc.CPU || oldDoc.Goos != newDoc.Goos || oldDoc.Goarch != newDoc.Goarch {
+		cmp.Comparable = false
+		cmp.Reason = fmt.Sprintf("baseline recorded on %s/%s %q, this run on %s/%s %q — reporting only, not gating",
+			oldDoc.Goos, oldDoc.Goarch, oldDoc.CPU, newDoc.Goos, newDoc.Goarch, newDoc.CPU)
+	}
+
+	oldS, newS := oldDoc.Samples(), newDoc.Samples()
+	names := make([]string, 0, len(oldS)+len(newS))
+	seen := make(map[string]bool)
+	for n := range oldS {
+		names = append(names, n)
+		seen[n] = true
+	}
+	for n := range newS {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		o, n := oldS[name], newS[name]
+		switch {
+		case len(o) == 0:
+			cmp.Rows = append(cmp.Rows, BenchRow{Name: name, NewNs: median(ns(n)), NewN: len(n), P: -1, Verdict: "new"})
+			continue
+		case len(n) == 0:
+			cmp.Rows = append(cmp.Rows, BenchRow{Name: name, OldNs: median(ns(o)), OldN: len(o), P: -1, Verdict: "vanished",
+				Note: "benchmark present in the baseline but missing from this run"})
+			continue
+		}
+		row := compareOne(name, o, n, opts)
+		if !cmp.Comparable && (row.Verdict == "regression" || row.Verdict == "alloc-regression") {
+			row.Verdict = "worse"
+			row.Note = "would gate, but machines differ"
+		}
+		if row.Verdict == "regression" || row.Verdict == "alloc-regression" {
+			cmp.Regressions++
+		}
+		cmp.Rows = append(cmp.Rows, row)
+	}
+	return cmp
+}
+
+// compareOne scores a single benchmark.
+func compareOne(name string, o, n []benchfmt.Result, opts BenchOptions) BenchRow {
+	oldNs, newNs := ns(o), ns(n)
+	row := BenchRow{
+		Name:  name,
+		OldNs: median(oldNs), NewNs: median(newNs),
+		OldN: len(o), NewN: len(n),
+		P: -1,
+	}
+	row.Delta = (row.NewNs - row.OldNs) / row.OldNs
+
+	if p, ok := MannWhitneyU(oldNs, newNs); ok {
+		row.P = p
+	}
+
+	// Allocation counters are exact; any increase is a regression
+	// regardless of the timing noise band.
+	oldAllocs, newAllocs := allocs(o), allocs(n)
+	if len(oldAllocs) > 0 && len(newAllocs) > 0 {
+		oa, na := median(oldAllocs), median(newAllocs)
+		if oa > 0 || na > 0 {
+			row.AllocDelta = na - oa
+			if na > oa {
+				row.Verdict = "alloc-regression"
+				row.Note = fmt.Sprintf("allocs/op rose %v -> %v", oa, na)
+				return row
+			}
+		}
+	}
+
+	switch {
+	case math.Abs(row.Delta) <= opts.Noise:
+		row.Verdict = "ok"
+	case row.Delta < 0:
+		row.Verdict = "improved"
+	case row.Delta >= opts.FailOn:
+		if row.P >= 0 && row.P >= opts.Alpha {
+			row.Verdict = "worse"
+			row.Note = fmt.Sprintf("+%.1f%% but p=%.3f >= alpha=%.2f — likely noise", 100*row.Delta, row.P, opts.Alpha)
+		} else {
+			row.Verdict = "regression"
+		}
+	default:
+		row.Verdict = "worse"
+	}
+	return row
+}
+
+func ns(rs []benchfmt.Result) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.NsPerOp
+	}
+	return out
+}
+
+// allocs extracts allocs/op samples; results that never recorded
+// -benchmem (both counters zero on every sample) yield nil, so a
+// baseline without memory columns skips the alloc gate rather than
+// faking a zero-allocation promise.
+func allocs(rs []benchfmt.Result) []float64 {
+	any := false
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = float64(r.AllocsPerOp)
+		if r.AllocsPerOp > 0 || r.BytesPerOp > 0 || r.HasAllocs() {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package perfgate
+
+import (
+	"testing"
+
+	"repro/internal/benchfmt"
+)
+
+func doc(cpu string, rs ...benchfmt.Result) *benchfmt.Document {
+	return &benchfmt.Document{Goos: "linux", Goarch: "amd64", CPU: cpu, Benchmarks: rs}
+}
+
+func res(name string, nsPerOp float64, allocsPerOp int64) benchfmt.Result {
+	return benchfmt.Result{Name: name, Procs: 1, Iterations: 100, NsPerOp: nsPerOp, AllocsPerOp: allocsPerOp, BytesPerOp: allocsPerOp * 8}
+}
+
+func rowByName(t *testing.T, c *BenchComparison, name string) BenchRow {
+	t.Helper()
+	for _, r := range c.Rows {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("row %q missing from %+v", name, c.Rows)
+	return BenchRow{}
+}
+
+func TestCompareBenchRegressionGate(t *testing.T) {
+	old := doc("cpuA", res("BenchmarkA", 1000, 1))
+	fresh := doc("cpuA", res("BenchmarkA", 1150, 1)) // +15%, single samples
+	cmp := CompareBench(old, fresh, DefaultBenchOptions())
+	if !cmp.Comparable || cmp.Regressions != 1 {
+		t.Fatalf("want 1 gating regression, got %+v", cmp)
+	}
+	if rowByName(t, cmp, "BenchmarkA").Verdict != "regression" {
+		t.Fatalf("bad verdict: %+v", cmp.Rows)
+	}
+}
+
+func TestCompareBenchNoiseBand(t *testing.T) {
+	old := doc("cpuA", res("BenchmarkA", 1000, 1))
+	fresh := doc("cpuA", res("BenchmarkA", 1030, 1)) // +3% < 5% noise
+	cmp := CompareBench(old, fresh, DefaultBenchOptions())
+	if cmp.Regressions != 0 || rowByName(t, cmp, "BenchmarkA").Verdict != "ok" {
+		t.Fatalf("inside noise band should be ok: %+v", cmp.Rows)
+	}
+
+	// Between noise and fail-on: reported "worse", not gating.
+	fresh = doc("cpuA", res("BenchmarkA", 1080, 1)) // +8%
+	cmp = CompareBench(old, fresh, DefaultBenchOptions())
+	if cmp.Regressions != 0 || rowByName(t, cmp, "BenchmarkA").Verdict != "worse" {
+		t.Fatalf("between noise and fail-on should be worse/non-gating: %+v", cmp.Rows)
+	}
+}
+
+func TestCompareBenchSignificanceDowngrade(t *testing.T) {
+	// Overlapping noisy samples whose medians differ by >10% but whose
+	// distributions are indistinguishable: the U test must veto the gate.
+	old := doc("cpuA",
+		res("BenchmarkA", 1000, 0), res("BenchmarkA", 1300, 0), res("BenchmarkA", 900, 0),
+		res("BenchmarkA", 1250, 0), res("BenchmarkA", 1050, 0))
+	fresh := doc("cpuA",
+		res("BenchmarkA", 1200, 0), res("BenchmarkA", 950, 0), res("BenchmarkA", 1280, 0),
+		res("BenchmarkA", 1020, 0), res("BenchmarkA", 1350, 0))
+	cmp := CompareBench(old, fresh, DefaultBenchOptions())
+	row := rowByName(t, cmp, "BenchmarkA")
+	if row.P < 0 {
+		t.Fatalf("expected a p-value with 5 samples per side: %+v", row)
+	}
+	if row.Verdict == "regression" {
+		t.Fatalf("insignificant overlap gated: %+v", row)
+	}
+}
+
+func TestCompareBenchClearRegressionWithSamples(t *testing.T) {
+	old := doc("cpuA",
+		res("BenchmarkA", 1000, 0), res("BenchmarkA", 1010, 0), res("BenchmarkA", 990, 0),
+		res("BenchmarkA", 1005, 0), res("BenchmarkA", 995, 0))
+	fresh := doc("cpuA",
+		res("BenchmarkA", 1200, 0), res("BenchmarkA", 1210, 0), res("BenchmarkA", 1190, 0),
+		res("BenchmarkA", 1205, 0), res("BenchmarkA", 1195, 0))
+	cmp := CompareBench(old, fresh, DefaultBenchOptions())
+	row := rowByName(t, cmp, "BenchmarkA")
+	if row.Verdict != "regression" || cmp.Regressions != 1 {
+		t.Fatalf("clear +20%% with tight samples must gate: %+v", row)
+	}
+	if row.P < 0 || row.P >= 0.05 {
+		t.Fatalf("want significant p, got %v", row.P)
+	}
+}
+
+func TestCompareBenchAllocRegression(t *testing.T) {
+	old := doc("cpuA", res("BenchmarkA", 1000, 1))
+	fresh := doc("cpuA", res("BenchmarkA", 1000, 3)) // same speed, more allocs
+	cmp := CompareBench(old, fresh, DefaultBenchOptions())
+	row := rowByName(t, cmp, "BenchmarkA")
+	if row.Verdict != "alloc-regression" || cmp.Regressions != 1 {
+		t.Fatalf("alloc counter rise must gate: %+v", row)
+	}
+}
+
+func TestCompareBenchDifferentMachines(t *testing.T) {
+	old := doc("cpuA", res("BenchmarkA", 1000, 1))
+	fresh := doc("cpuB", res("BenchmarkA", 2000, 1)) // +100% but other silicon
+	cmp := CompareBench(old, fresh, DefaultBenchOptions())
+	if cmp.Comparable || cmp.Regressions != 0 {
+		t.Fatalf("different machines must not gate: %+v", cmp)
+	}
+	if rowByName(t, cmp, "BenchmarkA").Verdict != "worse" {
+		t.Fatalf("cross-machine row should downgrade to worse: %+v", cmp.Rows)
+	}
+}
+
+func TestCompareBenchNewAndVanished(t *testing.T) {
+	old := doc("cpuA", res("BenchmarkOld", 1000, 1))
+	fresh := doc("cpuA", res("BenchmarkNew", 500, 1))
+	cmp := CompareBench(old, fresh, DefaultBenchOptions())
+	if rowByName(t, cmp, "BenchmarkOld").Verdict != "vanished" {
+		t.Fatalf("missing benchmark not reported: %+v", cmp.Rows)
+	}
+	if rowByName(t, cmp, "BenchmarkNew").Verdict != "new" {
+		t.Fatalf("new benchmark not reported: %+v", cmp.Rows)
+	}
+	if cmp.Regressions != 0 {
+		t.Fatalf("new/vanished must not gate: %+v", cmp)
+	}
+}
+
+func TestCompareBenchImprovement(t *testing.T) {
+	old := doc("cpuA", res("BenchmarkA", 1000, 2))
+	fresh := doc("cpuA", res("BenchmarkA", 700, 1))
+	cmp := CompareBench(old, fresh, DefaultBenchOptions())
+	if rowByName(t, cmp, "BenchmarkA").Verdict != "improved" || cmp.Regressions != 0 {
+		t.Fatalf("improvement misclassified: %+v", cmp.Rows)
+	}
+}

@@ -1,0 +1,112 @@
+package perfgate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// fixture mirrors the gc -json layout: one subdirectory per package
+// (URL-escaped import path), one .json per source file, a header line
+// then LSP-style diagnostic records with 1-based positions.
+const diagFixture = `{"version":0,"package":"repro/internal/ml","goos":"linux","goarch":"amd64","gc_version":"go1.24.0","file":"MODROOT/internal/ml/kernel.go"}
+{"range":{"start":{"line":10,"character":6},"end":{"line":10,"character":6}},"severity":3,"code":"cannotInlineFunction","source":"go compiler","message":"function too complex: cost 200 exceeds budget 80"}
+{"range":{"start":{"line":22,"character":9},"end":{"line":22,"character":9}},"severity":3,"code":"escape","source":"go compiler","message":"make([]float64, k) escapes to heap"}
+{"range":{"start":{"line":25,"character":4},"end":{"line":25,"character":4}},"severity":3,"code":"isInBounds","source":"go compiler"}
+`
+
+func TestParseDiagDir(t *testing.T) {
+	modRoot := t.TempDir()
+	pkgDir := filepath.Join(modRoot, "out", "repro%2Finternal%2Fml")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	fixture := []byte(strings.ReplaceAll(diagFixture, "MODROOT", modRoot))
+	if err := os.WriteFile(filepath.Join(pkgDir, "kernel.json"), fixture, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	set, err := parseDiagDir(filepath.Join(modRoot, "out"), modRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Toolchain != "go1.24.0" {
+		t.Fatalf("toolchain = %q", set.Toolchain)
+	}
+	ds := set.ByFile["internal/ml/kernel.go"]
+	if len(ds) != 3 {
+		t.Fatalf("got %d diags for the file (keys %v), want 3", len(ds), fileKeys(set))
+	}
+	if ds[0].Line != 10 || ds[0].Code != CodeCannotInline {
+		t.Fatalf("first diag wrong (sorted by line): %+v", ds[0])
+	}
+	if ds[2].Code != CodeIsInBounds || ds[2].Col != 4 {
+		t.Fatalf("bounds diag wrong: %+v", ds[2])
+	}
+}
+
+func TestParseDiagDirRejectsHeaderless(t *testing.T) {
+	dir := t.TempDir()
+	bad := `{"range":{"start":{"line":1,"character":1}},"code":"escape","message":"x escapes to heap"}`
+	if err := os.WriteFile(filepath.Join(dir, "orphan.json"), []byte(bad+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseDiagDir(dir, dir); err == nil {
+		t.Fatal("diagnostic before header must be an error")
+	}
+}
+
+// TestHarvestSelf compiles a real package and checks the harvest is
+// non-empty and deterministic across runs. Skipped in -short: it shells
+// out to the go tool twice.
+func TestHarvestSelf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go build")
+	}
+	modRoot, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Harvest(modRoot, []string{"./internal/mat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Toolchain == "" || len(a.ByFile) == 0 {
+		t.Fatalf("empty harvest: %+v", a)
+	}
+	var sawInline, sawBounds bool
+	for _, ds := range a.ByFile {
+		for _, d := range ds {
+			switch d.Code {
+			case CodeCanInline, CodeCannotInline:
+				sawInline = true
+			case CodeIsInBounds, CodeIsSliceIn:
+				sawBounds = true
+			}
+		}
+	}
+	if !sawInline || !sawBounds {
+		t.Fatalf("harvest missing verdict classes: inline=%v bounds=%v", sawInline, sawBounds)
+	}
+
+	b, err := Harvest(modRoot, []string{"./internal/mat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for file, ds := range a.ByFile {
+		if len(b.ByFile[file]) != len(ds) {
+			t.Fatalf("harvest not deterministic for %s: %d vs %d", file, len(ds), len(b.ByFile[file]))
+		}
+	}
+}
+
+func fileKeys(s *DiagSet) []string {
+	var out []string
+	for k := range s.ByFile {
+		out = append(out, k)
+	}
+	return out
+}

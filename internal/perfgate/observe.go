@@ -1,0 +1,163 @@
+package perfgate
+
+import (
+	"regexp"
+	"strings"
+)
+
+// Observation is what the compiler actually did to one hot function:
+// the join of its FuncProfile with the harvested diagnostics.
+type Observation struct {
+	Profile FuncProfile
+	// CanInline reports a canInlineFunction verdict at the declaration;
+	// InlineReason carries the cannotInlineFunction message otherwise.
+	CanInline    bool
+	InlineReason string
+	// EscapingParams are declared parameters (receiver included) the
+	// escape analysis says reach the heap.
+	EscapingParams []string
+	// LoopAllocs are heap-allocation sites (escape verdicts) inside the
+	// function's data loops; LoopBounds are bounds checks the compiler
+	// could not eliminate inside those loops.
+	LoopAllocs []Diag
+	LoopBounds []Diag
+	// FuncAllocs and FuncBounds count the same events anywhere in the
+	// function, loops or not (reported, not gated by default).
+	FuncAllocs int
+	FuncBounds int
+}
+
+var (
+	// "parameter x leaks to {heap} with derefs=0" — the caller's argument
+	// escapes. Leaks to results ("~r0") or to non-escaping storage are
+	// not heap escapes and are not matched.
+	reParamLeaksHeap = regexp.MustCompile(`^parameter (\S+) leaks to \{heap\}`)
+	// "x escapes to heap" / "moved to heap: x" — escape verdicts that
+	// name a value; when the name is a declared parameter, the parameter
+	// escapes.
+	reEscapesToHeap = regexp.MustCompile(`^(\S+) escapes to heap$`)
+	reMovedToHeap   = regexp.MustCompile(`^moved to heap: (\S+)$`)
+)
+
+// Observe joins profiles with diagnostics. Every diagnostic is assigned
+// to the narrowest profile span containing it, so a function literal's
+// diagnostics do not double-count against its enclosing declaration.
+func Observe(profiles []FuncProfile, diags *DiagSet) []Observation {
+	// Index profiles per file for containment lookup.
+	byFile := make(map[string][]*FuncProfile)
+	obs := make([]Observation, len(profiles))
+	for i := range profiles {
+		obs[i].Profile = profiles[i]
+		byFile[profiles[i].File] = append(byFile[profiles[i].File], &profiles[i])
+	}
+	idx := make(map[*FuncProfile]*Observation, len(profiles))
+	for i := range obs {
+		idx[&profiles[i]] = &obs[i]
+	}
+
+	// gc emits two records per escape site: "escapes" carrying the
+	// message and a bare "escape" marker at the same position. Count each
+	// position once or every allocation site doubles.
+	type pos struct {
+		file      string
+		line, col int
+	}
+	seenAlloc := make(map[pos]bool)
+
+	for file, ds := range diags.ByFile {
+		owners := byFile[file]
+		if len(owners) == 0 {
+			continue
+		}
+		for _, d := range ds {
+			p := narrowestOwner(owners, d.Line)
+			if p == nil {
+				continue
+			}
+			o := idx[p]
+			switch d.Code {
+			case CodeCanInline:
+				if d.Line == p.DeclLine {
+					o.CanInline = true
+				}
+			case CodeCannotInline:
+				if d.Line == p.DeclLine {
+					o.InlineReason = d.Message
+				}
+			case CodeLeak:
+				if m := reParamLeaksHeap.FindStringSubmatch(d.Message); m != nil && hasParam(p, m[1]) {
+					o.EscapingParams = appendUnique(o.EscapingParams, m[1])
+				}
+			case CodeEscape, CodeEscapes:
+				if m := reEscapesToHeap.FindStringSubmatch(d.Message); m != nil && hasParam(p, m[1]) {
+					o.EscapingParams = appendUnique(o.EscapingParams, m[1])
+				}
+				if m := reMovedToHeap.FindStringSubmatch(d.Message); m != nil && hasParam(p, m[1]) {
+					o.EscapingParams = appendUnique(o.EscapingParams, m[1])
+				}
+				at := pos{file, d.Line, d.Col}
+				if seenAlloc[at] {
+					break
+				}
+				seenAlloc[at] = true
+				o.FuncAllocs++
+				if inLoop(p, d.Line) {
+					o.LoopAllocs = append(o.LoopAllocs, d)
+				}
+			case CodeIsInBounds, CodeIsSliceIn:
+				o.FuncBounds++
+				if inLoop(p, d.Line) {
+					o.LoopBounds = append(o.LoopBounds, d)
+				}
+			}
+		}
+	}
+	return obs
+}
+
+// narrowestOwner picks the profile whose span contains line and is the
+// tightest such span (function literals over their enclosing decls).
+func narrowestOwner(owners []*FuncProfile, line int) *FuncProfile {
+	var best *FuncProfile
+	for _, p := range owners {
+		if line < p.DeclLine || line > p.EndLine {
+			continue
+		}
+		if best == nil || (p.EndLine-p.DeclLine) < (best.EndLine-best.DeclLine) {
+			best = p
+		}
+	}
+	return best
+}
+
+// inLoop reports whether line falls in any of p's data-loop spans.
+func inLoop(p *FuncProfile, line int) bool {
+	for _, s := range p.Loops {
+		if line >= s.StartLine && line <= s.EndLine {
+			return true
+		}
+	}
+	return false
+}
+
+// hasParam reports whether name is one of p's declared parameters.
+// Escape messages occasionally qualify names ("&f.x"); match the bare
+// identifier only.
+func hasParam(p *FuncProfile, name string) bool {
+	name = strings.TrimPrefix(name, "&")
+	for _, q := range p.Params {
+		if q == name {
+			return true
+		}
+	}
+	return false
+}
+
+func appendUnique(list []string, s string) []string {
+	for _, v := range list {
+		if v == s {
+			return list
+		}
+	}
+	return append(list, s)
+}

@@ -1,0 +1,101 @@
+package perfgate
+
+import (
+	"math"
+	"sort"
+)
+
+// This file is the stdlib-only statistics kernel of the benchmark
+// comparator: a two-sided Mann-Whitney U test (normal approximation
+// with tie correction and continuity correction) and order statistics.
+// The normal approximation is accurate enough from ~4 samples per side
+// for a gate whose decision threshold also includes a relative noise
+// band; callers with fewer samples fall back to threshold-only
+// comparison and say so in the report.
+
+// minSamplesForU is the per-side sample floor below which the U test is
+// not attempted.
+const minSamplesForU = 4
+
+// MannWhitneyU returns the two-sided p-value for the hypothesis that a
+// and b are drawn from the same distribution. ok is false when either
+// side has fewer than minSamplesForU samples or all values are tied
+// (no decision possible).
+func MannWhitneyU(a, b []float64) (p float64, ok bool) {
+	n1, n2 := len(a), len(b)
+	if n1 < minSamplesForU || n2 < minSamplesForU {
+		return 0, false
+	}
+	// Rank the pooled samples, mid-ranks for ties.
+	type obs struct {
+		v     float64
+		group int
+	}
+	pool := make([]obs, 0, n1+n2)
+	for _, v := range a {
+		pool = append(pool, obs{v, 0})
+	}
+	for _, v := range b {
+		pool = append(pool, obs{v, 1})
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].v < pool[j].v })
+
+	ranks := make([]float64, len(pool))
+	var tieTerm float64 // sum of t^3 - t over tie groups
+	for i := 0; i < len(pool); {
+		j := i
+		for j < len(pool) && pool[j].v == pool[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+
+	var r1 float64
+	for i, o := range pool {
+		if o.group == 0 {
+			r1 += ranks[i]
+		}
+	}
+	u1 := r1 - float64(n1*(n1+1))/2
+	u2 := float64(n1*n2) - u1
+	u := math.Min(u1, u2)
+
+	nn := float64(n1 + n2)
+	mean := float64(n1*n2) / 2
+	variance := float64(n1*n2) / 12 * (nn + 1 - tieTerm/(nn*(nn-1)))
+	if variance <= 0 {
+		return 0, false // every value tied
+	}
+	// Continuity correction pulls |z| toward zero.
+	z := (math.Abs(u-mean) - 0.5) / math.Sqrt(variance)
+	if z < 0 {
+		z = 0
+	}
+	return 2 * normalSurvival(z), true
+}
+
+// normalSurvival is P(Z > z) for the standard normal.
+func normalSurvival(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// median returns the middle order statistic (mean of the two middle
+// values for even lengths). The input is not modified.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,70 @@
+package perfgate
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMannWhitneyUSeparated(t *testing.T) {
+	// Fully separated samples: p must be small.
+	a := []float64{10, 11, 12, 13, 14, 15}
+	b := []float64{20, 21, 22, 23, 24, 25}
+	p, ok := MannWhitneyU(a, b)
+	if !ok {
+		t.Fatal("test declined with 6 samples per side")
+	}
+	if p > 0.01 {
+		t.Fatalf("separated samples: p=%v, want < 0.01", p)
+	}
+}
+
+func TestMannWhitneyUIdenticalDistributions(t *testing.T) {
+	// Interleaved samples from the same values: p must be large.
+	a := []float64{10, 12, 14, 16, 18}
+	b := []float64{11, 13, 15, 17, 19}
+	p, ok := MannWhitneyU(a, b)
+	if !ok {
+		t.Fatal("test declined")
+	}
+	if p < 0.3 {
+		t.Fatalf("interleaved samples: p=%v, want >= 0.3", p)
+	}
+}
+
+func TestMannWhitneyUReference(t *testing.T) {
+	// Hand-checked normal approximation with continuity correction:
+	// R1=20 so U=min(5,20)=5, mean=12.5, var=25*11/12, z=7/sqrt(22.9167)
+	// =1.4623, p=2*P(Z>1.4623)≈0.1437 (matches scipy's asymptotic mode).
+	a := []float64{1, 2, 3, 4, 10}
+	b := []float64{5, 6, 7, 8, 9}
+	p, ok := MannWhitneyU(a, b)
+	if !ok {
+		t.Fatal("test declined")
+	}
+	if math.Abs(p-0.1437) > 0.005 {
+		t.Fatalf("reference case: p=%v, want ~0.1437", p)
+	}
+}
+
+func TestMannWhitneyUSmallSamples(t *testing.T) {
+	if _, ok := MannWhitneyU([]float64{1, 2, 3}, []float64{4, 5, 6, 7}); ok {
+		t.Fatal("3 samples per side should decline the test")
+	}
+	if _, ok := MannWhitneyU([]float64{1, 1, 1, 1}, []float64{1, 1, 1, 1}); ok {
+		t.Fatal("all-tied samples should decline the test")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v, want 2", got)
+	}
+	if got := median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median = %v, want 2.5", got)
+	}
+	in := []float64{9, 1}
+	_ = median(in)
+	if in[0] != 9 {
+		t.Fatal("median mutated its input")
+	}
+}

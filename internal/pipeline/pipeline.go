@@ -12,6 +12,8 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/ml"
+
+	"repro/internal/clock"
 )
 
 // Stage names one pipeline step.
@@ -107,23 +109,23 @@ func (p *Pipeline) Run(ctx context.Context) (*State, Report, error) {
 	}
 	state := &State{Values: make(map[string]any)}
 	var rep Report
-	start := time.Now()
+	start := clock.Real().Now()
 	for _, e := range p.stages {
 		if err := ctx.Err(); err != nil {
 			return state, rep, err
 		}
-		stageStart := time.Now()
+		stageStart := clock.Real().Now()
 		if err := e.fn(ctx, state); err != nil {
 			return state, rep, fmt.Errorf("stage %q: %w", e.stage, err)
 		}
-		rep.Stages = append(rep.Stages, StageResult{Stage: e.stage, Duration: time.Since(stageStart)})
+		rep.Stages = append(rep.Stages, StageResult{Stage: e.stage, Duration: clock.Real().Since(stageStart)})
 		for _, h := range p.hooks {
 			if err := h(ctx, e.stage, state); err != nil {
 				return state, rep, fmt.Errorf("hook after stage %q: %w", e.stage, err)
 			}
 		}
 	}
-	rep.Wall = time.Since(start)
+	rep.Wall = clock.Real().Since(start)
 	return state, rep, nil
 }
 

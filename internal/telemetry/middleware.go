@@ -3,7 +3,8 @@ package telemetry
 import (
 	"net/http"
 	"strconv"
-	"time"
+
+	"repro/internal/clock"
 )
 
 // MiddlewareConfig parameterizes NewMiddleware.
@@ -58,7 +59,7 @@ func NewMiddleware(cfg MiddlewareConfig) func(http.Handler) http.Handler {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			route := routeOf(r)
-			start := time.Now()
+			start := clock.Real().Now()
 			inFlight.Inc()
 			defer inFlight.Dec()
 
@@ -76,7 +77,7 @@ func NewMiddleware(cfg MiddlewareConfig) func(http.Handler) http.Handler {
 			rec := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 			next.ServeHTTP(rec, r)
 
-			elapsed := time.Since(start)
+			elapsed := clock.Real().Since(start)
 			//lint:ignore telemetry-cardinality service is fixed per process, route comes from cfg.Route's bounded table, method and code are normalized to fixed enums
 			requests.With(cfg.Service, route, normalizeMethod(r.Method), statusClass(rec.status)).Inc()
 			//lint:ignore telemetry-cardinality service is fixed per process, route comes from cfg.Route's bounded table

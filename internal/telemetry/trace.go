@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // Trace propagation headers, attached to every instrumented request and
@@ -42,7 +44,7 @@ func randomHex(n int) string {
 	if _, err := rand.Read(buf); err != nil {
 		// Fallback: time + counter. Not cryptographically random, but
 		// unique enough for correlation.
-		binary.BigEndian.PutUint64(buf[:8], uint64(time.Now().UnixNano())^idCounter.Add(1))
+		binary.BigEndian.PutUint64(buf[:8], uint64(clock.Real().Now().UnixNano())^idCounter.Add(1))
 	}
 	return hex.EncodeToString(buf)
 }
