@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fix lint-fix-dry lint-baseline lint-sarif lint-graph test test-short race bench bench-all bench-smoke scenario-smoke fuzz experiments experiments-quick examples clean perfgate perfgate-static perfgate-manifest
+.PHONY: all build vet lint lint-fix lint-fix-dry lint-baseline lint-sarif lint-graph test test-short race bench bench-all bench-smoke scenario-smoke cluster-smoke fuzz experiments experiments-quick examples clean perfgate perfgate-static perfgate-manifest
 
 all: build vet lint test
 
@@ -101,6 +101,13 @@ bench-smoke:
 # reproducible run-to-run, so CI can diff them.
 scenario-smoke:
 	$(GO) run ./cmd/spatial-scenario -smoke -out scorecards
+
+# Cluster failover on real components: three in-process replicas behind
+# the real gateway, a cluster-wide 2PC promote, then kill the shard
+# owner and burst predicts through the gateway — zero 5xx beyond the
+# shed budget, status artifact in cluster-status.json.
+cluster-smoke:
+	$(GO) run ./cmd/spatial-cluster -smoke -out cluster-status.json
 
 fuzz:
 	$(GO) test -fuzz FuzzReadCSV -fuzztime 30s ./internal/dataset/

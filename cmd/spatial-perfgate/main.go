@@ -45,7 +45,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("spatial-perfgate", flag.ContinueOnError)
 	manifestPath := fs.String("manifest", ".perf-manifest.json", "committed contract file")
 	writeManifest := fs.Bool("write-manifest", false, "regenerate the manifest from the observed state and exit")
-	pkgsFlag := fs.String("pkgs", "./internal/ml,./internal/serving,./internal/mat", "comma-separated packages to harvest diagnostics for")
+	pkgsFlag := fs.String("pkgs", "./internal/ml,./internal/serving,./internal/mat,./internal/cluster", "comma-separated packages to harvest diagnostics for")
 	reportPath := fs.String("report", "", "write a machine-readable JSON report here")
 	static := fs.Bool("static", true, "run the static contract gate")
 	benchOld := fs.String("bench-old", "", "committed benchmark baseline (BENCH_serving.json)")

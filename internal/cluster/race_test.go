@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serving"
+)
+
+// TestConcurrentPromoteAndPredict hammers the cluster with predict
+// traffic while the control plane promotes and rolls back in a loop and
+// the heartbeat sweeper runs — the -race target for the whole tier.
+// Every predict must land on version 1 or version 2 semantics (never an
+// error other than overload shed), and the tier must end consistent.
+func TestConcurrentPromoteAndPredict(t *testing.T) {
+	c := New(Config{
+		HeartbeatInterval: time.Millisecond,
+		RPCTimeout:        10 * time.Second,
+	})
+	replicas := make([]*Replica, 3)
+	for i := range replicas {
+		replicas[i] = NewReplica(fmt.Sprintf("replica-%d", i), serving.Config{MaxBatch: 4})
+		if err := c.Join(replicas[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		for _, rp := range replicas {
+			rp.Close()
+		}
+	}()
+	if _, err := c.Register("demo", trainedModel(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register("demo", trainedModel(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+
+	const (
+		predictors = 8
+		perWorker  = 40
+		flips      = 25
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, predictors*perWorker+flips)
+	for w := 0; w < predictors; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				_, _, err := c.Predict(context.Background(), "demo", testInstances)
+				var over *serving.OverloadedError
+				if err != nil && !errors.As(err, &over) {
+					errCh <- fmt.Errorf("predict: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		version := 2
+		for i := 0; i < flips; i++ {
+			if err := c.PromoteAll("demo", version); err != nil {
+				errCh <- fmt.Errorf("promote v%d: %w", version, err)
+				return
+			}
+			version = 3 - version // 2 <-> 1
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// Convergence: canonical and every replica agree on the final
+	// promoted version.
+	want := c.Canonical().Aliases()[0].Current
+	for _, rp := range replicas {
+		aliases, err := rp.Aliases(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aliases[0].Current != want {
+			t.Fatalf("replica %s settled at version %d, canonical %d", rp.ID(), aliases[0].Current, want)
+		}
+	}
+}

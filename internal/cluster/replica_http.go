@@ -1,0 +1,316 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/serving"
+)
+
+// The replica's wire boundary. Replica.Handler serves the Backend
+// surface over HTTP; HTTPBackend is the matching client, so a topology
+// can mix in-process replicas (tests, cmd/spatial-cluster) and remote
+// ones (one process per replica) behind the same Backend interface.
+//
+// Typed serving errors survive the boundary through the `kind` field of
+// the error envelope: an overload shed on the replica reconstructs as a
+// *serving.OverloadedError at the coordinator, an unknown reference as
+// serving.ErrNotFound, so the router and HTTP error mapping behave
+// identically in both modes.
+
+// replicaError is the wire error envelope.
+type replicaError struct {
+	Error        string `json:"error"`
+	Kind         string `json:"kind,omitempty"` // "overloaded" | "notfound" | "down" | ""
+	RetryAfterMs int64  `json:"retryAfterMs,omitempty"`
+}
+
+// wire shapes for the backend methods.
+type wirePredictReq struct {
+	Ref       string      `json:"ref"`
+	Instances [][]float64 `json:"instances"`
+}
+
+type wirePredictResp struct {
+	Probs   [][]float64 `json:"probs"`
+	Classes []int       `json:"classes"`
+}
+
+type wirePushReq struct {
+	Name string `json:"name"`
+	Algo string `json:"algo"`
+	Blob []byte `json:"blob"` // base64 via encoding/json
+}
+
+type wirePrepareReq struct {
+	Txn     string `json:"txn"`
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	ID      string `json:"id"`
+	TTLMs   int64  `json:"ttlMs"`
+}
+
+type wireTxnReq struct {
+	Txn string `json:"txn"`
+}
+
+// Handler exposes the replica's Backend surface over HTTP under
+// /replica/*, plus /healthz and the serving runtime's /metrics when its
+// telemetry registry is wanted elsewhere.
+func (rp *Replica) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /replica/heartbeat", rp.handleHeartbeat)
+	mux.HandleFunc("POST /replica/predict", rp.handlePredict)
+	mux.HandleFunc("POST /replica/push", rp.handlePush)
+	mux.HandleFunc("GET /replica/aliases", rp.handleAliases)
+	mux.HandleFunc("POST /replica/prepare", rp.handlePrepare)
+	mux.HandleFunc("POST /replica/commit", rp.handleCommit)
+	mux.HandleFunc("POST /replica/abort", rp.handleAbort)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "replica": rp.id})
+	})
+	return mux
+}
+
+// writeReplicaError maps backend errors onto the wire envelope. A killed
+// replica behind a still-running HTTP server answers 503/kind=down so
+// the client backend converts it back to ErrReplicaDown.
+func writeReplicaError(w http.ResponseWriter, err error) {
+	var over *serving.OverloadedError
+	switch {
+	case errors.As(err, &over):
+		w.Header().Set("Retry-After", retryAfterSeconds(over.RetryAfter))
+		writeJSON(w, http.StatusTooManyRequests, replicaError{
+			Error: err.Error(), Kind: "overloaded", RetryAfterMs: over.RetryAfter.Milliseconds(),
+		})
+	case errors.Is(err, serving.ErrNotFound):
+		writeJSON(w, http.StatusNotFound, replicaError{Error: err.Error(), Kind: "notfound"})
+	case errors.Is(err, ErrReplicaDown), errors.Is(err, serving.ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, replicaError{Error: err.Error(), Kind: "down"})
+	default:
+		writeJSON(w, http.StatusConflict, replicaError{Error: err.Error()})
+	}
+}
+
+func (rp *Replica) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	info, err := rp.Heartbeat(r.Context())
+	if err != nil {
+		writeReplicaError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (rp *Replica) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req wirePredictReq
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	probs, classes, err := rp.Predict(r.Context(), req.Ref, req.Instances)
+	if err != nil {
+		writeReplicaError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wirePredictResp{Probs: probs, Classes: classes})
+}
+
+func (rp *Replica) handlePush(w http.ResponseWriter, r *http.Request) {
+	var req wirePushReq
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ref, err := rp.Push(r.Context(), req.Name, req.Algo, req.Blob)
+	if err != nil {
+		writeReplicaError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ref)
+}
+
+func (rp *Replica) handleAliases(w http.ResponseWriter, r *http.Request) {
+	aliases, err := rp.Aliases(r.Context())
+	if err != nil {
+		writeReplicaError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, aliases)
+}
+
+func (rp *Replica) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	var req wirePrepareReq
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	err := rp.Prepare(r.Context(), req.Txn, req.Name, req.Version, req.ID,
+		time.Duration(req.TTLMs)*time.Millisecond)
+	if err != nil {
+		writeReplicaError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"txn": req.Txn, "state": "prepared"})
+}
+
+func (rp *Replica) handleCommit(w http.ResponseWriter, r *http.Request) {
+	var req wireTxnReq
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := rp.Commit(r.Context(), req.Txn); err != nil {
+		writeReplicaError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"txn": req.Txn, "state": "committed"})
+}
+
+func (rp *Replica) handleAbort(w http.ResponseWriter, r *http.Request) {
+	var req wireTxnReq
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := rp.Abort(r.Context(), req.Txn); err != nil {
+		writeReplicaError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"txn": req.Txn, "state": "aborted"})
+}
+
+// HTTPBackend implements Backend against a remote replica's Handler.
+// Transport failures — refused connections, resets, a dead process —
+// map to ErrReplicaDown so the router's failover treats a vanished
+// replica exactly like a killed in-process one.
+type HTTPBackend struct {
+	id     string
+	base   string
+	client *http.Client
+}
+
+// NewHTTPBackend builds a backend for the replica with the given stable
+// ID served at baseURL. client may be nil; a dedicated client with a
+// sane timeout is used (never http.DefaultClient, which has none).
+func NewHTTPBackend(id, baseURL string, client *http.Client) *HTTPBackend {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &HTTPBackend{id: id, base: baseURL, client: client}
+}
+
+// ID implements Backend.
+func (b *HTTPBackend) ID() string { return b.id }
+
+// do runs one round trip and decodes the response into out (when
+// non-nil), converting error envelopes back into typed errors.
+func (b *HTTPBackend) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("cluster: marshal %s: %w", path, err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, b.base+path, body)
+	if err != nil {
+		return fmt.Errorf("cluster: build %s: %w", path, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		// Transport-level failure: the process is gone or unreachable.
+		return fmt.Errorf("replica %s: %s: %v: %w", b.id, path, err, ErrReplicaDown)
+	}
+	defer func() {
+		if cerr := resp.Body.Close(); cerr != nil {
+			return
+		}
+	}()
+	if resp.StatusCode == http.StatusOK {
+		if out == nil {
+			_, err := io.Copy(io.Discard, resp.Body)
+			return err
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	var envelope replicaError
+	if derr := json.NewDecoder(resp.Body).Decode(&envelope); derr != nil || envelope.Error == "" {
+		return fmt.Errorf("replica %s: %s: http %d", b.id, path, resp.StatusCode)
+	}
+	switch envelope.Kind {
+	case "overloaded":
+		return &serving.OverloadedError{
+			Ref:        path,
+			RetryAfter: time.Duration(envelope.RetryAfterMs) * time.Millisecond,
+		}
+	case "notfound":
+		return fmt.Errorf("replica %s: %s: %w", b.id, envelope.Error, serving.ErrNotFound)
+	case "down":
+		return fmt.Errorf("replica %s: %s: %w", b.id, envelope.Error, ErrReplicaDown)
+	default:
+		return fmt.Errorf("replica %s: %s", b.id, envelope.Error)
+	}
+}
+
+// Predict implements Backend.
+func (b *HTTPBackend) Predict(ctx context.Context, ref string, instances [][]float64) ([][]float64, []int, error) {
+	var resp wirePredictResp
+	err := b.do(ctx, http.MethodPost, "/replica/predict", wirePredictReq{Ref: ref, Instances: instances}, &resp)
+	if err != nil {
+		// Give the reconstructed overload error its real model ref.
+		var over *serving.OverloadedError
+		if errors.As(err, &over) {
+			over.Ref = ref
+		}
+		return nil, nil, err
+	}
+	return resp.Probs, resp.Classes, nil
+}
+
+// Heartbeat implements Backend.
+func (b *HTTPBackend) Heartbeat(ctx context.Context) (HeartbeatInfo, error) {
+	var info HeartbeatInfo
+	err := b.do(ctx, http.MethodGet, "/replica/heartbeat", nil, &info)
+	return info, err
+}
+
+// Push implements Backend.
+func (b *HTTPBackend) Push(ctx context.Context, name, algo string, blob []byte) (serving.Ref, error) {
+	var ref serving.Ref
+	err := b.do(ctx, http.MethodPost, "/replica/push", wirePushReq{Name: name, Algo: algo, Blob: blob}, &ref)
+	return ref, err
+}
+
+// Aliases implements Backend.
+func (b *HTTPBackend) Aliases(ctx context.Context) ([]serving.AliasInfo, error) {
+	var out []serving.AliasInfo
+	err := b.do(ctx, http.MethodGet, "/replica/aliases", nil, &out)
+	return out, err
+}
+
+// Prepare implements Backend.
+func (b *HTTPBackend) Prepare(ctx context.Context, txn, name string, version int, id string, ttl time.Duration) error {
+	return b.do(ctx, http.MethodPost, "/replica/prepare", wirePrepareReq{
+		Txn: txn, Name: name, Version: version, ID: id, TTLMs: ttl.Milliseconds(),
+	}, nil)
+}
+
+// Commit implements Backend.
+func (b *HTTPBackend) Commit(ctx context.Context, txn string) error {
+	return b.do(ctx, http.MethodPost, "/replica/commit", wireTxnReq{Txn: txn}, nil)
+}
+
+// Abort implements Backend.
+func (b *HTTPBackend) Abort(ctx context.Context, txn string) error {
+	return b.do(ctx, http.MethodPost, "/replica/abort", wireTxnReq{Txn: txn}, nil)
+}

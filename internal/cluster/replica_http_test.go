@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serving"
+)
+
+// TestHTTPBackendRoundTrip drives the full wire boundary: an HTTP
+// replica joins next to an in-process one, replication and 2PC flow
+// over the wire, and killing the HTTP server triggers transport-level
+// failover.
+func TestHTTPBackendRoundTrip(t *testing.T) {
+	c := New(Config{
+		RPCTimeout: 10 * time.Second,
+		// Tiny expiry so one sweep after the server dies is enough to
+		// demote it (this test runs on the real clock).
+		HeartbeatInterval: time.Millisecond,
+		HeartbeatExpiry:   time.Millisecond,
+	})
+
+	local := NewReplica("replica-local", serving.Config{MaxBatch: 1})
+	defer local.Close()
+	if err := c.Join(local); err != nil {
+		t.Fatal(err)
+	}
+
+	remote := NewReplica("replica-remote", serving.Config{MaxBatch: 1})
+	defer remote.Close()
+	srv := httptest.NewServer(remote.Handler())
+	defer srv.Close()
+	if err := c.Join(NewHTTPBackend("replica-remote", srv.URL, srv.Client())); err != nil {
+		t.Fatal(err)
+	}
+
+	// Register fans out over the wire; both replicas hold both versions.
+	if _, err := c.Register("demo", trainedModel(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register("demo", trainedModel(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PromoteAll("demo", 2); err != nil {
+		t.Fatal(err)
+	}
+	aliases, err := remote.Aliases(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aliases) != 1 || aliases[0].Current != 2 || len(aliases[0].Versions) != 2 {
+		t.Fatalf("remote replica after wire replication + promote: %+v", aliases)
+	}
+
+	// Predicts route to whichever member owns the shard; both must be
+	// reachable, so force the remote by draining the local one.
+	if err := c.SetDraining("replica-local", true); err != nil {
+		t.Fatal(err)
+	}
+	probs, classes, err := c.Predict(context.Background(), "demo", testInstances)
+	if err != nil {
+		t.Fatalf("predict via HTTP backend: %v", err)
+	}
+	if len(probs) != 2 || len(classes) != 2 {
+		t.Fatalf("wire predict shape: %d probs / %d classes", len(probs), len(classes))
+	}
+
+	// Typed errors survive the boundary.
+	hb := NewHTTPBackend("replica-remote", srv.URL, srv.Client())
+	if _, _, err := hb.Predict(context.Background(), "no-such-model", testInstances); !errors.Is(err, serving.ErrNotFound) {
+		t.Fatalf("wire not-found mapped to %v, want serving.ErrNotFound", err)
+	}
+	remote.Kill()
+	if _, err := hb.Heartbeat(context.Background()); !errors.Is(err, ErrReplicaDown) {
+		t.Fatalf("killed replica behind live server mapped to %v, want ErrReplicaDown", err)
+	}
+	remote.Restart()
+
+	// Transport failure (server gone) also maps to ErrReplicaDown, and
+	// the router fails over to the surviving member.
+	if err := c.SetDraining("replica-local", false); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := hb.Heartbeat(context.Background()); !errors.Is(err, ErrReplicaDown) {
+		t.Fatalf("dead transport mapped to %v, want ErrReplicaDown", err)
+	}
+	if _, _, err := c.Predict(context.Background(), "demo", testInstances); err != nil {
+		t.Fatalf("predict after HTTP replica vanished: %v", err)
+	}
+	c.TickHeartbeat() // sweep notices the dead transport and demotes it
+	st := c.Status()
+	for _, r := range st.Replicas {
+		if r.ID == "replica-remote" && r.Up {
+			t.Fatalf("vanished HTTP replica still up in status: %+v", r)
+		}
+	}
+}
+
+// TestHTTPBackendOverloadedRoundTrip reconstructs the shed error with
+// its Retry-After hint across the wire.
+func TestHTTPBackendOverloadedRoundTrip(t *testing.T) {
+	rp := NewReplica("replica-shed", serving.Config{
+		MaxBatch:      1,
+		QueueDepth:    4,
+		ShedWatermark: 1,
+		RetryAfter:    750 * time.Millisecond,
+	})
+	defer rp.Close()
+	reg := rp.Runtime().Registry()
+	if _, err := reg.Register("demo", trainedModel(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(rp.Handler())
+	defer srv.Close()
+	hb := NewHTTPBackend("replica-shed", srv.URL, srv.Client())
+
+	// Two instances against a watermark of one: shed.
+	_, _, err := hb.Predict(context.Background(), "demo", testInstances)
+	var over *serving.OverloadedError
+	if !errors.As(err, &over) {
+		t.Fatalf("wire shed mapped to %v, want *serving.OverloadedError", err)
+	}
+	if over.RetryAfter != 750*time.Millisecond {
+		t.Fatalf("Retry-After hint %v survived as %v", 750*time.Millisecond, over.RetryAfter)
+	}
+	if over.Ref != "demo" {
+		t.Fatalf("reconstructed overload ref %q, want demo", over.Ref)
+	}
+}

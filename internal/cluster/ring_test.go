@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("replica-%d", i)
+	}
+	return ids
+}
+
+func TestRingDeterministicAndOrderInsensitive(t *testing.T) {
+	a := NewRing([]string{"r2", "r0", "r1"}, 0)
+	b := NewRing([]string{"r1", "r1", "r2", "r0", ""}, 0)
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("lens %d %d, want 3 (dedup + drop empty)", a.Len(), b.Len())
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("model-%d", i)
+		if a.OwnerID(key) != b.OwnerID(key) {
+			t.Fatalf("key %q: owner %s vs %s — ring depends on input order", key, a.OwnerID(key), b.OwnerID(key))
+		}
+	}
+	if Moves(a, b) != 0 {
+		t.Fatalf("identical membership reports %d moves", Moves(a, b))
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if got := empty.Owner("x"); got != -1 {
+		t.Fatalf("empty ring owner %d, want -1", got)
+	}
+	if got := empty.OwnerID("x"); got != "" {
+		t.Fatalf("empty ring owner id %q", got)
+	}
+	single := NewRing([]string{"only"}, 0)
+	for i := 0; i < 50; i++ {
+		if got := single.OwnerID(fmt.Sprintf("k%d", i)); got != "only" {
+			t.Fatalf("single-member ring routed %q to %q", fmt.Sprintf("k%d", i), got)
+		}
+	}
+}
+
+// TestRingRebalanceOnJoin asserts the consistent-hashing contract: adding
+// a member only moves keys onto the new member — every key whose owner is
+// not the newcomer keeps its old owner.
+func TestRingRebalanceOnJoin(t *testing.T) {
+	old := NewRing(ringIDs(4), 0)
+	grown := NewRing(append(ringIDs(4), "replica-9"), 0)
+	moved, kept := 0, 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("model-%d", i)
+		was, now := old.OwnerID(key), grown.OwnerID(key)
+		if was == now {
+			kept++
+			continue
+		}
+		moved++
+		if now != "replica-9" {
+			t.Fatalf("key %q moved %s -> %s, not onto the joining member", key, was, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the new member")
+	}
+	// Expected share is 1/5; allow generous slack for hash variance.
+	if moved > 2000/2 {
+		t.Fatalf("join moved %d/2000 keys — far past the 1/n share", moved)
+	}
+	if Moves(old, grown) == 0 {
+		t.Fatal("Moves reports 0 for a membership change")
+	}
+}
+
+// TestRingRebalanceOnLeave is the inverse contract: removing a member
+// only moves that member's keys.
+func TestRingRebalanceOnLeave(t *testing.T) {
+	old := NewRing(ringIDs(4), 0)
+	shrunk := NewRing(ringIDs(3), 0) // replica-3 left
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("model-%d", i)
+		was, now := old.OwnerID(key), shrunk.OwnerID(key)
+		if was != "replica-3" && was != now {
+			t.Fatalf("key %q owned by %s moved to %s although its owner stayed", key, was, now)
+		}
+		if now == "replica-3" {
+			t.Fatalf("key %q routed to departed member", key)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(ringIDs(5), 0)
+	counts := make(map[string]int)
+	for i := 0; i < 10000; i++ {
+		counts[r.OwnerID(fmt.Sprintf("model-%d", i))]++
+	}
+	for _, id := range ringIDs(5) {
+		n := counts[id]
+		// Perfect balance is 2000; 64 vnodes keeps every member within a
+		// loose band of it.
+		if n < 500 || n > 4000 {
+			t.Fatalf("member %s owns %d/10000 keys — imbalance beyond vnode expectations: %v", id, n, counts)
+		}
+	}
+}
+
+func TestRingWalkVisitsAllOnceOwnerFirst(t *testing.T) {
+	r := NewRing(ringIDs(6), 0)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("model-%d", i)
+		var order []int
+		r.Walk(key, func(replica int) bool {
+			order = append(order, replica)
+			return true
+		})
+		if len(order) != 6 {
+			t.Fatalf("key %q walk visited %d members, want 6", key, len(order))
+		}
+		if order[0] != r.Owner(key) {
+			t.Fatalf("key %q walk started at %d, owner is %d", key, order[0], r.Owner(key))
+		}
+		seen := make(map[int]bool)
+		for _, ri := range order {
+			if seen[ri] {
+				t.Fatalf("key %q walk visited replica %d twice", key, ri)
+			}
+			seen[ri] = true
+		}
+	}
+	// Early-exit contract.
+	visits := 0
+	r.Walk("model-1", func(int) bool { visits++; return false })
+	if visits != 1 {
+		t.Fatalf("walk continued after visit returned false: %d visits", visits)
+	}
+}
+
+func TestRingMovesNilAndSelf(t *testing.T) {
+	r := NewRing(ringIDs(3), 8)
+	if Moves(nil, nil) != 0 {
+		t.Fatal("Moves(nil, nil) != 0")
+	}
+	if got := Moves(nil, r); got != 3*8 {
+		t.Fatalf("Moves(nil, r) = %d, want %d", got, 3*8)
+	}
+	if got := Moves(r, nil); got != 3*8 {
+		t.Fatalf("Moves(r, nil) = %d, want %d", got, 3*8)
+	}
+	if Moves(r, r) != 0 {
+		t.Fatal("Moves(r, r) != 0")
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	r := NewRing(ringIDs(8), 0)
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("model-%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Owner(keys[i&63]) < 0 {
+			b.Fatal("empty ring")
+		}
+	}
+}

@@ -76,6 +76,12 @@ type upstream struct {
 	target  *url.URL
 	proxy   *httputil.ReverseProxy
 	healthy atomic.Bool
+	// draining marks a backend a coordinated restart is about to stop:
+	// it stays healthy (in-flight requests finish, health checks keep
+	// probing) but pick sends it no new routes while any non-draining
+	// candidate exists. Without this state a cluster rollout closed
+	// connections the balancer was still routing to.
+	draining atomic.Bool
 	// conns counts in-flight requests (least-connections policy).
 	conns atomic.Int64
 	// consecutive proxy failures and the breaker deadline.
@@ -281,6 +287,28 @@ func (g *Gateway) AddRoute(prefix string, policy Balancing, backends ...string) 
 	return nil
 }
 
+// SetDraining marks every upstream with the given target URL as
+// draining (or live again). A cluster coordinator calls this before
+// stopping a replica so the balancer stops routing to it while its
+// in-flight requests finish; it errors if no route knows the backend.
+func (g *Gateway) SetDraining(backend string, draining bool) error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	found := false
+	for _, rt := range g.routes {
+		for _, u := range rt.upstreams {
+			if u.target.String() == backend {
+				u.draining.Store(draining)
+				found = true
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("gateway: no upstream %q to drain", backend)
+	}
+	return nil
+}
+
 func (g *Gateway) onUpstreamFailure(u *upstream) {
 	if int(u.fails.Add(1)) >= g.cfg.BreakerThreshold {
 		u.openUntil.Store(g.clk.Now().Add(g.cfg.BreakerCooldown).UnixNano())
@@ -301,15 +329,27 @@ func (g *Gateway) match(path string) *route {
 	return nil
 }
 
-// pick selects an available upstream per the route policy.
+// pick selects an available upstream per the route policy. Draining
+// backends are excluded while any non-draining candidate remains; when
+// the whole pool is draining they are used anyway — a degraded route
+// beats a refused one mid-rollout.
 func (g *Gateway) pick(rt *route) *upstream {
 	now := g.clk.Now()
 	threshold := int32(g.cfg.BreakerThreshold)
 	candidates := make([]*upstream, 0, len(rt.upstreams))
+	var drainingOnly []*upstream
 	for _, u := range rt.upstreams {
-		if u.available(now, threshold) {
-			candidates = append(candidates, u)
+		if !u.available(now, threshold) {
+			continue
 		}
+		if u.draining.Load() {
+			drainingOnly = append(drainingOnly, u)
+			continue
+		}
+		candidates = append(candidates, u)
+	}
+	if len(candidates) == 0 {
+		candidates = drainingOnly
 	}
 	if len(candidates) == 0 {
 		return nil
@@ -526,6 +566,7 @@ type RouteMetric struct {
 type UpstreamStatus struct {
 	URL         string `json:"url"`
 	Healthy     bool   `json:"healthy"`
+	Draining    bool   `json:"draining"`
 	BreakerOpen bool   `json:"breakerOpen"`
 	InFlight    int64  `json:"inFlight"`
 }
@@ -550,6 +591,7 @@ func (g *Gateway) RouteMetrics() []RouteMetric {
 			m.Upstreams = append(m.Upstreams, UpstreamStatus{
 				URL:         u.target.String(),
 				Healthy:     u.healthy.Load(),
+				Draining:    u.draining.Load(),
 				BreakerOpen: u.openUntil.Load() > now,
 				InFlight:    u.conns.Load(),
 			})

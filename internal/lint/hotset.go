@@ -111,6 +111,21 @@ func ServingEntry(n *Node) bool {
 	return strings.HasPrefix(name, "Predict") && ast.IsExported(name)
 }
 
+// ClusterEntry selects the cluster tier's data-plane roots: predict
+// routing and ring lookups in internal/cluster. These run once per
+// proxied request, so the perf gate watches their diagnostics (the pick
+// path is reached from Predict through the call graph).
+func ClusterEntry(n *Node) bool {
+	if n.Decl == nil || !pathHasAny(n.Pkg.Path, "internal/cluster") {
+		return false
+	}
+	name := n.Decl.Name.Name
+	if !ast.IsExported(name) {
+		return false
+	}
+	return strings.HasPrefix(name, "Predict") || strings.HasPrefix(name, "Owner") || name == "Walk"
+}
+
 // KernelEntry selects the batch-prediction kernels themselves (Predict*
 // methods in internal/ml), so callers gauging compiler optimizations see
 // the kernels even when interface dispatch would hide an edge.

@@ -41,12 +41,13 @@ type FuncProfile struct {
 }
 
 // DefaultEntry is the gate's entry predicate: the serving tier's
-// exported Predict* handlers plus the ml batch kernels themselves (the
+// exported Predict* handlers, the ml batch kernels themselves (the
 // kernels are also reachable via CHA from serving, but naming them
 // directly keeps the gate meaningful even if the serving tier's
-// dispatch changes shape).
+// dispatch changes shape), and the cluster tier's routing hot paths
+// (ring lookup and replica pick, which run once per proxied request).
 func DefaultEntry(n *lint.Node) bool {
-	return lint.ServingEntry(n) || lint.KernelEntry(n)
+	return lint.ServingEntry(n) || lint.KernelEntry(n) || lint.ClusterEntry(n)
 }
 
 // ProfileOptions configures hot-profile construction.

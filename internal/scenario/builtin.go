@@ -149,6 +149,37 @@ func init() {
 		},
 	})
 
+	// The cluster tier's failover story: a flash crowd builds, the shard
+	// owner is killed at its peak, traffic reroutes to ring successors
+	// (counted in Faults.Rerouted) while the crowd is still up, and the
+	// replica restarts before the cooldown. Scored on recovery time
+	// after the restart and on the rerouted-request count — both
+	// deterministic under the fake clock.
+	mustRegister(defaultLibrary, Scenario{
+		Name:        "cluster-failover",
+		Description: "Kill the shard owner mid-flash-crowd; score rerouted traffic and post-restart recovery.",
+		UseCase:     "cluster",
+		Workload:    WorkloadSynthetic,
+		Seed:        8,
+		Smoke:       true,
+		SLO:         SLO{LatencyP95: dur(250 * time.Millisecond), MaxErrorRate: 0.02},
+		Cluster:     &ClusterSpec{Replicas: 3},
+		Phases: []Phase{
+			{Name: "baseline", Duration: dur(6 * time.Second),
+				Shape: Shape{Kind: ShapeSteady, BaseRPS: 40}},
+			{Name: "crowd-builds", Duration: dur(4 * time.Second),
+				Shape: Shape{Kind: ShapeRamp, BaseRPS: 40, PeakRPS: 140}},
+			{Name: "owner-killed", Duration: dur(6 * time.Second),
+				Shape: Shape{Kind: ShapeSteady, BaseRPS: 140},
+				Fault: &Fault{Kind: FaultReplicaKill}},
+			{Name: "owner-restarts", Duration: dur(4 * time.Second),
+				Shape: Shape{Kind: ShapeSteady, BaseRPS: 80},
+				Fault: &Fault{Kind: FaultReplicaRestart}},
+			{Name: "cooldown", Duration: dur(6 * time.Second),
+				Shape: Shape{Kind: ShapeSteady, BaseRPS: 40}},
+		},
+	})
+
 	// Heavy-tailed arrivals with a covariate-shift ramp underneath: the
 	// drift detector must separate a slow distribution shift from bursty
 	// load noise.

@@ -25,6 +25,9 @@ type ChaosStats struct {
 	Errored int64 `json:"errored"`
 	Reset   int64 `json:"reset"`
 	Passed  int64 `json:"passed"`
+	// Rerouted counts requests the virtual cluster served off their
+	// shard owner after a replica kill (zero for single-target runs).
+	Rerouted int64 `json:"rerouted"`
 }
 
 // chaosCore is the fault decision engine shared by the server-side proxy

@@ -25,6 +25,15 @@ type faultStats interface {
 	Stats() ChaosStats
 }
 
+// VirtualSampler is the deterministic service model a virtual run drives:
+// the single closed-form VirtualTarget or the sharded VirtualCluster.
+type VirtualSampler interface {
+	// Sample resolves one request at the given offered load.
+	Sample(offeredRPS float64) (time.Duration, error)
+	// SetFault installs (or clears, with nil) the phase fault.
+	SetFault(*Fault)
+}
+
 // Env wires a scenario run to its world. Exactly one of Virtual and
 // Sampler must be set: Virtual runs the deterministic service model
 // (requires clock.Fake — the executor owns the timeline), Sampler drives
@@ -34,8 +43,9 @@ type Env struct {
 	// Clock paces the timeline; clock.Real() when nil. A *clock.Fake is
 	// advanced tick-by-tick by the executor itself.
 	Clock clock.Clock
-	// Virtual is the deterministic target of smoke runs.
-	Virtual *VirtualTarget
+	// Virtual is the deterministic target of smoke runs: a
+	// *VirtualTarget or, for sharded scenarios, a *VirtualCluster.
+	Virtual VirtualSampler
 	// Sampler is the live-mode target.
 	Sampler loadgen.Sampler
 	// Injector receives each phase's fault; defaults to Virtual. In

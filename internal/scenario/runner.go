@@ -20,7 +20,12 @@ var Epoch = time.Date(2024, 7, 1, 0, 0, 0, 0, time.UTC)
 // which is what the smoke tests pin down to byte-identical scorecards.
 func RunVirtual(ctx context.Context, sc Scenario) (*Record, error) {
 	fake := clock.NewFake(Epoch)
-	virtual := NewVirtualTarget(0, 0, sc.Seed)
+	var virtual VirtualSampler
+	if c := sc.Cluster; c != nil {
+		virtual = NewVirtualCluster(c.Replicas, c.BaseLatency.D(), c.CapacityRPS, sc.Seed, sc.Workload)
+	} else {
+		virtual = NewVirtualTarget(0, 0, sc.Seed)
+	}
 
 	stream, err := BuildWorkload(sc.Workload, sc.Seed)
 	if err != nil {

@@ -199,6 +199,16 @@ const (
 	// FaultDown refuses every request for the fault window — a killed
 	// service; clearing the fault is the restart.
 	FaultDown FaultKind = "down"
+	// FaultReplicaKill kills one replica of the virtual cluster tier
+	// (Fault.Replica, or the shard owner when empty). Unlike the other
+	// kinds the kill persists past the phase — only FaultReplicaRestart
+	// revives it — so a campaign can measure rerouted traffic across
+	// several phases before scoring the recovery. Requires
+	// Scenario.Cluster.
+	FaultReplicaKill FaultKind = "replica-kill"
+	// FaultReplicaRestart revives a previously killed replica (or all of
+	// them when Fault.Replica is empty). Requires Scenario.Cluster.
+	FaultReplicaRestart FaultKind = "replica-restart"
 )
 
 // Fault configures one phase's fault injection.
@@ -211,6 +221,15 @@ type Fault struct {
 	Jitter  Duration `json:"jitter,omitempty"`
 	// Code is the FaultErrorBurst status (default 503).
 	Code int `json:"code,omitempty"`
+	// Replica targets FaultReplicaKill/FaultReplicaRestart at one member
+	// of the virtual cluster ("replica-0"...). Empty means the shard
+	// owner for a kill and every downed member for a restart.
+	Replica string `json:"replica,omitempty"`
+}
+
+// clusterFault reports whether the kind targets the replica tier.
+func (f Fault) clusterFault() bool {
+	return f.Kind == FaultReplicaKill || f.Kind == FaultReplicaRestart
 }
 
 // rate returns the effective affected fraction.
@@ -223,7 +242,8 @@ func (f Fault) rate() float64 {
 
 func (f Fault) validate() error {
 	switch f.Kind {
-	case FaultLatency, FaultErrorBurst, FaultReset, FaultDown:
+	case FaultLatency, FaultErrorBurst, FaultReset, FaultDown,
+		FaultReplicaKill, FaultReplicaRestart:
 	default:
 		return fmt.Errorf("unknown fault kind %q", f.Kind)
 	}
@@ -235,6 +255,9 @@ func (f Fault) validate() error {
 	}
 	if f.Code != 0 && (f.Code < 400 || f.Code > 599) {
 		return fmt.Errorf("fault %q: code %d outside 4xx/5xx", f.Kind, f.Code)
+	}
+	if f.Replica != "" && !f.clusterFault() {
+		return fmt.Errorf("fault %q: replica target only applies to replica faults", f.Kind)
 	}
 	return nil
 }
@@ -286,6 +309,31 @@ func (a Adversarial) validate() error {
 		}
 	default:
 		return fmt.Errorf("unknown adversarial kind %q", a.Kind)
+	}
+	return nil
+}
+
+// ClusterSpec sizes the virtual replica tier a scenario runs against.
+// When set, RunVirtual swaps the single VirtualTarget for a
+// VirtualCluster: shard-aware routing over N replicas, so replica-kill
+// and replica-restart faults become meaningful and the scorecard's
+// Faults.Rerouted counts failover traffic.
+type ClusterSpec struct {
+	// Replicas is the member count (>= 2; there is nothing to fail over
+	// to with one).
+	Replicas int `json:"replicas"`
+	// CapacityRPS is each replica's admission watermark (default 150).
+	CapacityRPS float64 `json:"capacityRps,omitempty"`
+	// BaseLatency is each replica's unloaded latency (default 20ms).
+	BaseLatency Duration `json:"baseLatency,omitempty"`
+}
+
+func (c ClusterSpec) validate() error {
+	if c.Replicas < 2 {
+		return fmt.Errorf("cluster needs >= 2 replicas, got %d", c.Replicas)
+	}
+	if c.CapacityRPS < 0 || c.BaseLatency.D() < 0 {
+		return fmt.Errorf("cluster capacity/latency must be non-negative")
 	}
 	return nil
 }
@@ -352,7 +400,10 @@ type Scenario struct {
 	// SensorEvery is the sensor sampling period (default 500ms).
 	SensorEvery Duration `json:"sensorEvery,omitempty"`
 	SLO         SLO      `json:"slo"`
-	Phases      []Phase  `json:"phases"`
+	// Cluster, when set, runs the scenario against a virtual replica
+	// tier instead of a single virtual target (see ClusterSpec).
+	Cluster *ClusterSpec `json:"cluster,omitempty"`
+	Phases  []Phase      `json:"phases"`
 	// Smoke marks the scenario as a member of the deterministic
 	// CI-runnable subset.
 	Smoke bool `json:"smoke,omitempty"`
@@ -406,6 +457,11 @@ func (sc Scenario) Validate() error {
 	default:
 		return fmt.Errorf("scenario %q: unknown workload %q", sc.Name, sc.Workload)
 	}
+	if sc.Cluster != nil {
+		if err := sc.Cluster.validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+	}
 	seen := make(map[string]bool, len(sc.Phases))
 	for i, p := range sc.Phases {
 		if p.Name == "" {
@@ -424,6 +480,9 @@ func (sc Scenario) Validate() error {
 		if p.Fault != nil {
 			if err := p.Fault.validate(); err != nil {
 				return fmt.Errorf("scenario %q: phase %q: %w", sc.Name, p.Name, err)
+			}
+			if p.Fault.clusterFault() && sc.Cluster == nil {
+				return fmt.Errorf("scenario %q: phase %q: fault %q needs a cluster spec", sc.Name, p.Name, p.Fault.Kind)
 			}
 		}
 		if p.Adversarial != nil {

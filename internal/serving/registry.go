@@ -205,6 +205,24 @@ func (r *Registry) Rollback(name string) (Ref, error) {
 	return Ref{ID: a.versions[a.current-1], Name: name, Version: a.current}, nil
 }
 
+// PeekRollback returns the ref Rollback would restore for name, without
+// mutating any state. Cluster coordinators use it to learn the rollback
+// target, run a two-phase flip to that version across replicas, and only
+// then pop the canonical history.
+func (r *Registry) PeekRollback(name string) (Ref, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := r.aliases[name]
+	if a == nil {
+		return Ref{}, fmt.Errorf("serving: alias %q: %w", name, ErrNotFound)
+	}
+	if len(a.history) == 0 {
+		return Ref{}, fmt.Errorf("serving: alias %q has no promotion to roll back", name)
+	}
+	v := a.history[len(a.history)-1]
+	return Ref{ID: a.versions[v-1], Name: name, Version: v}, nil
+}
+
 // Resolve maps a model reference onto its content id. Accepted forms:
 // a raw content id ("sha256:..."), "name@N", "name@latest", or a bare
 // promoted name.
