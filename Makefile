@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fix lint-fix-dry lint-baseline lint-sarif lint-graph test test-short race bench bench-all bench-smoke scenario-smoke cluster-smoke fuzz experiments experiments-quick examples clean perfgate perfgate-static perfgate-manifest
+.PHONY: all build vet lint lint-fix lint-fix-dry lint-baseline lint-sarif lint-graph test test-short race race-stress bench bench-all bench-smoke scenario-smoke cluster-smoke fuzz experiments experiments-quick examples clean perfgate perfgate-static perfgate-manifest
 
 all: build vet lint test
 
@@ -53,6 +53,14 @@ test-short:
 # every package still runs under the race detector.
 race:
 	$(GO) test -race -short ./...
+
+# Schedule-stress the concurrency-heavy tiers: rerun their -race suites
+# across a GOMAXPROCS × shuffle-seed matrix with GORACE halting on the
+# first report. Race logs, failing cell output, and summary.json land in
+# racestress-artifacts/. Override the matrix with RACESTRESS_FLAGS
+# (e.g. RACESTRESS_FLAGS='-procs 4 -seeds 7' to replay one cell).
+race-stress:
+	$(GO) run ./cmd/spatial-racestress -out racestress-artifacts $(RACESTRESS_FLAGS)
 
 # Serving-path benchmarks, recorded: runs the serial-vs-batched serving
 # benchmarks with enough repetitions for the perfgate comparator's

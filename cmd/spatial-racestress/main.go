@@ -1,0 +1,201 @@
+// Command spatial-racestress drives the race detector through many
+// schedules instead of one: it reruns the -race test suites of the
+// concurrency-heavy tiers across a GOMAXPROCS × shuffle-seed matrix,
+// with GORACE configured to halt on the first report and drop the race
+// log as a CI artifact.
+//
+// A single -race pass observes a single schedule; races with narrow
+// windows — check-then-act on atomics, the unguarded field accesses the
+// lint topology checks flag statically — often need an adversarial
+// schedule to materialize. Varying GOMAXPROCS changes preemption
+// pressure and -shuffle varies test interleaving, so the matrix
+// explores materially different schedules while staying reproducible:
+// every cell names its seed, and one cell replays alone via
+// -procs and -seeds.
+//
+// Usage:
+//
+//	spatial-racestress
+//	spatial-racestress -pkgs ./internal/cluster/... -procs 4 -seeds 7 -count 5
+//	spatial-racestress -out racestress-artifacts -run TestCluster
+//
+// Artifacts land under -out: GORACE logs as race_p<procs>_s<seed>.<pid>,
+// failing cell output as fail_p<procs>_s<seed>.log, and a summary.json
+// with one row per cell.
+//
+// Exit status: 0 when every cell passes, 1 when any cell fails, 2 on
+// usage or harness errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// cell is one matrix entry's result row in summary.json.
+type cell struct {
+	Procs      int    `json:"procs"`
+	Seed       int    `json:"seed"`
+	Pass       bool   `json:"pass"`
+	DurationMs int64  `json:"durationMs"`
+	FailLog    string `json:"failLog,omitempty"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("spatial-racestress", flag.ContinueOnError)
+	pkgsFlag := fs.String("pkgs", "./internal/cluster/...,./internal/serving/...", "comma-separated package patterns to stress")
+	procsFlag := fs.String("procs", "1,2,4", "comma-separated GOMAXPROCS values")
+	seedsFlag := fs.String("seeds", "1,2,3", "comma-separated -shuffle seeds")
+	count := fs.Int("count", 3, "test -count per cell (cache-busting repeats)")
+	runPat := fs.String("run", "", "test -run filter (empty runs everything)")
+	timeout := fs.Duration("timeout", 10*time.Minute, "go test -timeout per cell")
+	short := fs.Bool("short", false, "pass -short to the test runs")
+	outDir := fs.String("out", "racestress-artifacts", "artifact directory (race logs, failure output, summary.json)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	pkgs := splitNonEmpty(*pkgsFlag)
+	procs, err := parseInts(*procsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spatial-racestress: -procs: %v\n", err)
+		return 2
+	}
+	seeds, err := parseInts(*seedsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spatial-racestress: -seeds: %v\n", err)
+		return 2
+	}
+	if len(pkgs) == 0 || len(procs) == 0 || len(seeds) == 0 {
+		fmt.Fprintln(os.Stderr, "spatial-racestress: -pkgs, -procs, and -seeds must each be non-empty")
+		return 2
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "spatial-racestress: %v\n", err)
+		return 2
+	}
+	absOut, err := filepath.Abs(*outDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spatial-racestress: %v\n", err)
+		return 2
+	}
+
+	var cells []cell
+	failed := 0
+	for _, p := range procs {
+		for _, seed := range seeds {
+			c := runCell(pkgs, p, seed, *count, *runPat, *timeout, *short, absOut)
+			if !c.Pass {
+				failed++
+			}
+			cells = append(cells, c)
+		}
+	}
+
+	if err := writeSummary(filepath.Join(absOut, "summary.json"), cells); err != nil {
+		fmt.Fprintf(os.Stderr, "spatial-racestress: %v\n", err)
+		return 2
+	}
+	fmt.Printf("spatial-racestress: %d/%d cells passed (procs %v × seeds %v over %s)\n",
+		len(cells)-failed, len(cells), procs, seeds, strings.Join(pkgs, " "))
+	if failed > 0 {
+		fmt.Printf("spatial-racestress: failing cell output and race logs under %s\n", absOut)
+		return 1
+	}
+	return 0
+}
+
+// runCell executes one (GOMAXPROCS, seed) matrix entry: a full -race
+// test run with shuffled order and halt-on-first-report semantics.
+func runCell(pkgs []string, procs, seed, count int, runPat string, timeout time.Duration, short bool, absOut string) cell {
+	args := []string{"test", "-race",
+		"-count", strconv.Itoa(count),
+		"-shuffle", strconv.Itoa(seed),
+		"-timeout", timeout.String(),
+	}
+	if runPat != "" {
+		args = append(args, "-run", runPat)
+	}
+	if short {
+		args = append(args, "-short")
+	}
+	args = append(args, pkgs...)
+
+	cmd := exec.Command("go", args...)
+	// halt_on_error turns the first race report into an immediate test
+	// failure; log_path preserves the full report (the runtime appends
+	// the pid) even when the halted binary's output is truncated.
+	raceLog := filepath.Join(absOut, fmt.Sprintf("race_p%d_s%d", procs, seed))
+	cmd.Env = append(os.Environ(),
+		fmt.Sprintf("GOMAXPROCS=%d", procs),
+		fmt.Sprintf("GORACE=halt_on_error=1 log_path=%s", raceLog),
+	)
+
+	fmt.Printf("spatial-racestress: GOMAXPROCS=%d seed=%d: go %s\n", procs, seed, strings.Join(args, " "))
+	start := time.Now()
+	out, err := cmd.CombinedOutput()
+	c := cell{Procs: procs, Seed: seed, Pass: err == nil, DurationMs: time.Since(start).Milliseconds()}
+	if err != nil {
+		c.FailLog = fmt.Sprintf("fail_p%d_s%d.log", procs, seed)
+		if werr := os.WriteFile(filepath.Join(absOut, c.FailLog), out, 0o644); werr != nil {
+			fmt.Fprintf(os.Stderr, "spatial-racestress: writing %s: %v\n", c.FailLog, werr)
+		}
+		fmt.Printf("spatial-racestress: FAIL GOMAXPROCS=%d seed=%d (%v)\n%s", procs, seed, err, out)
+	}
+	return c
+}
+
+// writeSummary persists the matrix results as JSON for the CI artifact.
+func writeSummary(path string, cells []cell) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cells); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			return fmt.Errorf("%v (and closing %s: %v)", err, path, cerr)
+		}
+		return err
+	}
+	return f.Close()
+}
+
+// splitNonEmpty splits a comma list, dropping empty elements.
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseInts parses a comma list of positive integers.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitNonEmpty(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("value %d must be positive", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -257,7 +257,6 @@ func (c *Cluster) TickHeartbeat() {
 	changed := false
 	for _, m := range sweep {
 		wasUp := m.up.Load()
-		wasDraining := m.draining.Load()
 		if !wasUp {
 			// Down member: re-probe. Success means it restarted (or the
 			// partition healed) — sync it and bring it back.
@@ -280,12 +279,18 @@ func (c *Cluster) TickHeartbeat() {
 			m.models = info.Models
 			m.warmBytes = info.WarmBytes
 			c.mu.Unlock()
-			m.draining.Store(info.Draining)
-			m.met.up.Set(1)
-			m.met.hbAge.Set(0)
-			if info.Draining != wasDraining {
+			// Swap, not load-compare-store: a concurrent SetDraining landing
+			// between a stale read and the store would have its rebuild
+			// decision erased, leaving the ring out of sync with the flag.
+			if prev := m.draining.Swap(info.Draining); prev != info.Draining {
 				changed = true
 			}
+			// A concurrent markDown may have demoted the member after this
+			// heartbeat answered; don't overwrite its gauge.
+			if m.up.Load() {
+				m.met.up.Set(1)
+			}
+			m.met.hbAge.Set(0)
 			continue
 		}
 		c.mu.Lock()
@@ -293,9 +298,11 @@ func (c *Cluster) TickHeartbeat() {
 		c.mu.Unlock()
 		m.met.hbAge.Set(age.Seconds())
 		if age >= c.cfg.HeartbeatExpiry {
-			m.up.Store(false)
-			m.met.up.Set(0)
-			changed = true
+			// CAS so an expiry racing markDown demotes (and rebuilds) once.
+			if m.up.CompareAndSwap(true, false) {
+				m.met.up.Set(0)
+				changed = true
+			}
 		}
 	}
 	if changed {
@@ -346,10 +353,13 @@ func (c *Cluster) rebuild() {
 	for i, id := range ring.IDs() {
 		members[i] = c.members[id]
 	}
-	c.mu.Unlock()
-
+	// The swap stays under c.mu: two racing rebuilds could otherwise
+	// publish in the wrong order and pin a stale table (a demoted member
+	// kept in the ring) until the next membership change.
 	old := c.table.Load()
 	c.table.Store(&routeTable{ring: ring, members: members})
+	c.mu.Unlock()
+
 	if moves := Moves(old.ring, ring); moves > 0 {
 		c.met.ringMoves.Add(float64(moves))
 	}
@@ -381,6 +391,9 @@ func (c *Cluster) Start() {
 	}
 	c.started = true
 	c.stop = make(chan struct{})
+	// Captured locally: the sweeper must not read c.stop, which a later
+	// Start for the next run cycle reassigns without startMu held here.
+	stop := c.stop
 	ticker := c.clk.NewTicker(c.cfg.HeartbeatInterval)
 	c.wg.Add(1)
 	go func() {
@@ -390,7 +403,7 @@ func (c *Cluster) Start() {
 			select {
 			case <-ticker.C():
 				c.TickHeartbeat()
-			case <-c.stop:
+			case <-stop:
 				return
 			}
 		}

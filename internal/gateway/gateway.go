@@ -97,8 +97,12 @@ func (u *upstream) available(now time.Time, threshold int32) bool {
 		if now.UnixNano() < openUntil {
 			return false
 		}
-		// Half-open: allow a probe request through.
-		u.openUntil.Store(0)
+		// Half-open: exactly one caller wins the CAS and becomes the
+		// probe. Losers keep the breaker open, and a breaker concurrently
+		// re-opened with a fresh deadline is not erased by a plain store.
+		if !u.openUntil.CompareAndSwap(openUntil, 0) {
+			return false
+		}
 		u.fails.Store(threshold - 1)
 	}
 	return true

@@ -1,0 +1,46 @@
+package lint
+
+// AnalyzerAtomicMix flags struct fields accessed both through sync/atomic
+// operations and with plain loads/stores anywhere in the module. Mixing
+// the two voids every guarantee the atomic side was buying: the plain
+// access races with the atomic one (the race detector reports exactly
+// this pair), and on weakly ordered hardware the plain read can observe a
+// torn or stale value even when the write looks "just a flag". The fix is
+// one discipline per field — all accesses atomic, or all under one lock.
+// Fields whose address escapes to non-atomic code are skipped: the graph
+// cannot see the accesses behind the pointer.
+var AnalyzerAtomicMix = &Analyzer{
+	Name:       "atomic-mix",
+	Doc:        "flags fields accessed both atomically and with plain loads/stores (data race)",
+	Severity:   SeverityError,
+	RunProgram: runAtomicMix,
+}
+
+func runAtomicMix(pp *ProgramPass) {
+	conc := pp.Prog.Concurrency()
+	for _, key := range conc.FieldKeys() {
+		fi := conc.Fields[key]
+		var atomics, plains []*FieldAccess
+		escaped := false
+		for _, a := range fi.Accesses {
+			switch a.Mode {
+			case AccessAtomic:
+				atomics = append(atomics, a)
+			case AccessEscape:
+				escaped = true
+			default:
+				if !a.Confined {
+					plains = append(plains, a)
+				}
+			}
+		}
+		if escaped || len(atomics) == 0 || len(plains) == 0 {
+			continue
+		}
+		witness := pp.Prog.Fset.Position(atomics[0].Pos)
+		for _, a := range plains {
+			pp.Reportf(a.Pos, "field %s is accessed atomically (%s:%d) but %s here without sync/atomic; mixed access is a data race — use one discipline for every access",
+				shortKeyName(fi.Key), baseName(witness.Filename), witness.Line, a.Mode)
+		}
+	}
+}

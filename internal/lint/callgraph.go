@@ -156,6 +156,10 @@ type Program struct {
 
 	summaryOnce sync.Once
 	summaries   map[*Node]*Summary
+	// concOnce guards the lazily built goroutine topology graph
+	// (concurrency.go) the shared-state checks run on.
+	concOnce sync.Once
+	conc     *Concurrency
 	// computations counts summary computations (including fixpoint
 	// re-runs), so tests can prove the cache makes repeat runs free.
 	computations int

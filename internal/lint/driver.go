@@ -14,7 +14,11 @@ import (
 func Analyzers() []*Analyzer {
 	all := []*Analyzer{
 		AnalyzerAppendAlias,
+		AnalyzerAtomicMix,
 		AnalyzerBodyLeak,
+		AnalyzerChanDeadlock,
+		AnalyzerUnguardedField,
+		AnalyzerWgMisuse,
 		AnalyzerCtxLeak,
 		AnalyzerCtxPropagation,
 		AnalyzerFloatEq,

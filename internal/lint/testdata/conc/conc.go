@@ -1,0 +1,69 @@
+// Package conc is the dedicated structural fixture for the concurrency
+// topology graph (testdata/conc, outside the golden corpus): spawn
+// edges, go-reachability, mutex ownership of field accesses, mixed
+// atomic/plain disciplines, and channel endpoint pairing.
+package conc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// S carries one mutex-guarded field, one mixed-discipline field, and
+// one channel field.
+type S struct {
+	mu      sync.Mutex
+	guarded int
+	count   int64
+	stop    chan struct{}
+}
+
+// New confines its writes to the allocating constructor.
+func New() *S {
+	s := &S{stop: make(chan struct{})}
+	s.guarded = 1
+	return s
+}
+
+func (s *S) set(v int) {
+	s.mu.Lock()
+	s.guarded = v
+	s.mu.Unlock()
+}
+
+func (s *S) peek() int {
+	return s.guarded
+}
+
+func (s *S) bump() {
+	atomic.AddInt64(&s.count, 1)
+}
+
+func (s *S) raw() int64 {
+	return s.count
+}
+
+func worker(s *S) {
+	s.set(2)
+	_ = s.peek()
+	_ = s.raw()
+}
+
+// launch is the spawn site: one named function, one literal.
+func launch(s *S) {
+	go worker(s)
+	go func() {
+		s.bump()
+		<-s.stop
+	}()
+	pipe()
+}
+
+// pipe pairs an unbuffered local channel across a spawn.
+func pipe() int {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	return <-ch
+}

@@ -1,0 +1,60 @@
+// Package atomicmix is spatial-lint golden-corpus input for the
+// atomic-mix check: a field touched both through sync/atomic and with
+// plain loads/stores races with itself, and a plain read can observe a
+// torn or stale value on weakly ordered hardware.
+package atomicmix
+
+import "sync/atomic"
+
+// Gauge mixes disciplines on val: Inc is atomic, Read and Reset are
+// plain.
+type Gauge struct {
+	val int64
+}
+
+// Inc is the atomic side; the finding's witness access.
+func (g *Gauge) Inc() {
+	atomic.AddInt64(&g.val, 1)
+}
+
+// Read loads the same field plainly; flagged.
+func (g *Gauge) Read() int64 {
+	return g.val // want "accessed atomically .* but read here without sync/atomic"
+}
+
+// Reset stores plainly; flagged.
+func (g *Gauge) Reset() {
+	g.val = 0 // want "accessed atomically .* but written here without sync/atomic"
+}
+
+// NewGauge initializes plainly before the value is published; the
+// constructor write is confined to the allocating function, not flagged.
+func NewGauge(start int64) *Gauge {
+	g := &Gauge{}
+	g.val = start
+	return g
+}
+
+// Clean keeps one discipline everywhere; not flagged.
+type Clean struct {
+	hits int64
+}
+
+// Inc and Read both go through sync/atomic.
+func (c *Clean) Inc() { atomic.AddInt64(&c.hits, 1) }
+
+// Read matches the store discipline.
+func (c *Clean) Read() int64 { return atomic.LoadInt64(&c.hits) }
+
+// Waived mixes on purpose; the finding is suppressed with a reason.
+type Waived struct {
+	flag int64
+}
+
+// Set is the atomic side of the waived pair.
+func (w *Waived) Set() { atomic.StoreInt64(&w.flag, 1) }
+
+// Peek is the deliberately plain side.
+func (w *Waived) Peek() int64 {
+	return w.flag //lint:ignore atomic-mix corpus fixture demonstrating a reasoned waiver of the mixed access
+}

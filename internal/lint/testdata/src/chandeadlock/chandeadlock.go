@@ -1,0 +1,71 @@
+// Package chandeadlock is spatial-lint golden-corpus input for the
+// chan-deadlock check: unbuffered channel operations with no
+// counterpart anywhere in the module, sequential self-rendezvous, and
+// select-default spin loops.
+package chandeadlock
+
+// Stuck sends on a channel nothing ever receives; the send parks its
+// goroutine forever.
+func Stuck() {
+	ch := make(chan int)
+	ch <- 1 // want "has no receive anywhere in the module"
+}
+
+// Orphan receives on a channel nothing ever sends on or closes.
+func Orphan() int {
+	ch := make(chan int)
+	return <-ch // want "has no send or close anywhere in the module"
+}
+
+// SelfRendezvous sends and receives in one function with no goroutine
+// on the other side; the first send blocks.
+func SelfRendezvous() int {
+	ch := make(chan int)
+	ch <- 1 // want "sequential rendezvous with itself"
+	return <-ch
+}
+
+// Spin busy-waits on a select whose only case is default.
+func Spin() {
+	for { // want "busy-spins at 100% CPU"
+		select {
+		default:
+		}
+	}
+}
+
+// Paired hands the send to a goroutine; a real rendezvous, not flagged.
+func Paired() int {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	return <-ch
+}
+
+// Buffered sends never park here; buffered channels are out of scope,
+// not flagged.
+func Buffered() int {
+	ch := make(chan int, 1)
+	ch <- 1
+	return <-ch
+}
+
+// NonBlocking probes with select-default; not flagged even without a
+// counterpart.
+func NonBlocking() bool {
+	ch := make(chan int)
+	select {
+	case ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// KnownStuck keeps a deliberately orphan send as the suppression
+// fixture.
+func KnownStuck() {
+	ch := make(chan struct{})
+	ch <- struct{}{} //lint:ignore chan-deadlock corpus fixture demonstrating a reasoned waiver of the orphan send
+}

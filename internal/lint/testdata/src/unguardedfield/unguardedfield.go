@@ -1,0 +1,102 @@
+// Package unguardedfield is spatial-lint golden-corpus input for the
+// unguarded-field check: a field written under a mutex in one function
+// but accessed without it in another function that can run on a spawned
+// goroutine.
+package unguardedfield
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Inc writes n under mu; the inferred guard's witness.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Peek reads n without mu while Watch makes it goroutine-reachable;
+// flagged.
+func (c *counter) Peek() int {
+	return c.n // want "written under .*mu .* but read here without it"
+}
+
+// bumpLocked writes without the lock but declares, by the repo-wide
+// "...Locked" suffix, that its caller holds mu; not flagged.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+// Watch spawns a reader, making Peek goroutine-reachable.
+func Watch(c *counter) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = c.Peek()
+	}()
+	c.Inc()
+	c.mu.Lock()
+	c.bumpLocked()
+	c.mu.Unlock()
+	return done
+}
+
+// guarded keeps every access under mu; not flagged.
+type guarded struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (g *guarded) set(x int) {
+	g.mu.Lock()
+	g.v = x
+	g.mu.Unlock()
+}
+
+func (g *guarded) get() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// SpawnGuarded mirrors Watch for the clean type.
+func SpawnGuarded(g *guarded) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = g.get()
+	}()
+	g.set(1)
+	return done
+}
+
+// stats is read racily on purpose for display-only output; the finding
+// is suppressed with a reason.
+type stats struct {
+	mu   sync.Mutex
+	hits int
+}
+
+func (s *stats) add() {
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+}
+
+func (s *stats) approx() int {
+	return s.hits //lint:ignore unguarded-field approximate read is tolerated for display-only stats
+}
+
+// PollStats spawns the racy reader.
+func PollStats(s *stats) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = s.approx()
+	}()
+	s.add()
+	return done
+}

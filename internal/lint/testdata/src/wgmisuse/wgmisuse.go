@@ -1,0 +1,87 @@
+// Package wgmisuse is spatial-lint golden-corpus input for the
+// wg-misuse check: WaitGroup Adds that can race a started Wait and Done
+// calls that can outnumber Adds.
+package wgmisuse
+
+import "sync"
+
+func work() int { return 1 }
+
+// AddAfterWait re-arms the group on a path where Wait may already have
+// started; flagged at the Add.
+func AddAfterWait(trigger bool) {
+	var wg sync.WaitGroup
+	if trigger {
+		wg.Wait()
+	}
+	wg.Add(1) // want "reachable after .*Wait has started"
+	wg.Done()
+}
+
+// AddInGoroutine counts the work inside the goroutine it spawns while
+// the caller is already waiting; Wait can pass before Add runs.
+func AddInGoroutine() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want "runs inside a goroutine while .* waits on it"
+		defer wg.Done()
+		_ = work()
+	}()
+	wg.Wait()
+}
+
+// ConditionalAdd pairs an unconditional Done with an Add that only
+// happens on one branch; the counter can go negative and panic.
+func ConditionalAdd(arm bool) {
+	var wg sync.WaitGroup
+	if arm {
+		wg.Add(1)
+	}
+	wg.Done() // want "can run without a matching .*Add on this path"
+}
+
+// Balanced Adds once per goroutine before spawning; not flagged.
+func Balanced(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = work()
+		}()
+	}
+	wg.Wait()
+}
+
+// WavesInLoop alternates Add and Wait inside one loop; legal wave-style
+// reuse, not flagged.
+func WavesInLoop(rounds int) {
+	var wg sync.WaitGroup
+	for i := 0; i < rounds; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = work()
+		}()
+		wg.Wait()
+	}
+}
+
+// Rearm re-arms a group sequentially after the first wave's Wait
+// returned — a two-phase barrier the check over-approximates; waived
+// with a reason.
+func Rearm() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = work()
+	}()
+	wg.Wait()
+	wg.Add(1) //lint:ignore wg-misuse two-phase barrier re-arms only after the first wave's Wait returned
+	go func() {
+		defer wg.Done()
+		_ = work()
+	}()
+	wg.Wait()
+}

@@ -231,6 +231,14 @@ func (m *Manager) telemetry() *managerMetrics {
 	return m.tel
 }
 
+// clk returns the manager's time source under the lock; UseClock may run
+// concurrently with public entry points like CollectOnce.
+func (m *Manager) clk() clock.Clock {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clock
+}
+
 // Register adds a sensor. It fails if the manager is running or the name
 // is taken.
 func (m *Manager) Register(s *Sensor) error {
@@ -278,7 +286,9 @@ func (m *Manager) Start(ctx context.Context) error {
 	m.running = true
 	for _, s := range m.sensors {
 		m.wg.Add(1)
-		go m.run(ctx, s)
+		// Interval is read here, under m.mu, and passed by value so the
+		// sampling goroutine never touches sensor fields unguarded.
+		go m.run(ctx, s, s.Interval)
 	}
 	return nil
 }
@@ -299,9 +309,9 @@ func (m *Manager) Stop() {
 	m.mu.Unlock()
 }
 
-func (m *Manager) run(ctx context.Context, s *Sensor) {
+func (m *Manager) run(ctx context.Context, s *Sensor, interval time.Duration) {
 	defer m.wg.Done()
-	ticker := m.clock.NewTicker(s.Interval)
+	ticker := m.clk().NewTicker(interval)
 	defer ticker.Stop()
 	m.collect(ctx, s)
 	for {
@@ -351,11 +361,12 @@ func (m *Manager) CollectOnce(ctx context.Context, name string) (Reading, error)
 	if tel := m.telemetry(); tel != nil {
 		sm = tel.forSensor(s.Name)
 	}
-	start := m.clock.Now()
+	clk := m.clk()
+	start := clk.Now()
 	value, detail, err := s.Collector.Collect(ctx)
 	if sm != nil {
 		sm.collects.Inc()
-		sm.duration.Observe(m.clock.Since(start).Seconds())
+		sm.duration.Observe(clk.Since(start).Seconds())
 	}
 	if err != nil {
 		if sm != nil {
@@ -371,7 +382,7 @@ func (m *Manager) CollectOnce(ctx context.Context, name string) (Reading, error)
 		Property: s.Property,
 		Value:    value,
 		Detail:   detail,
-		Time:     m.clock.Now(),
+		Time:     clk.Now(),
 	}
 	if msg := s.Threshold.check(value); msg != "" {
 		r.Alert = true

@@ -356,13 +356,9 @@ func (r *Runtime) runWorker(ln *line) {
 func (r *Runtime) execute(ln *line, batch []*item) {
 	first := batch[0].at
 	probs, err := r.scoreBatch(ln.id, batch)
-	for i, it := range batch {
-		if err != nil {
-			it.call.fail(err)
-		} else {
-			it.call.deliver(it.out, probs[i])
-		}
-	}
+	// Accounting precedes delivery: a Predict caller wakes the moment its
+	// result lands, and anything it then reads (in-flight count, batch
+	// histograms) must already reflect this batch.
 	ln.inflight.Add(-int64(len(batch)))
 	if err == nil {
 		// Counted here, once per batch, rather than per call: every
@@ -371,6 +367,13 @@ func (r *Runtime) execute(ln *line, batch []*item) {
 	}
 	r.met.batchSize.Observe(float64(len(batch)))
 	r.met.batchLatency.Observe(r.clk.Since(first).Seconds())
+	for i, it := range batch {
+		if err != nil {
+			it.call.fail(err)
+		} else {
+			it.call.deliver(it.out, probs[i])
+		}
+	}
 }
 
 func (r *Runtime) scoreBatch(id string, batch []*item) (probs [][]float64, err error) {
