@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fix lint-fix-dry lint-baseline lint-sarif lint-graph test test-short race race-stress bench bench-all bench-smoke scenario-smoke cluster-smoke fuzz experiments experiments-quick examples clean perfgate perfgate-static perfgate-manifest
+.PHONY: all build vet check lint lint-fix lint-fix-dry lint-baseline lint-sarif lint-graph kernelcheck test test-short race race-stress bench bench-all bench-smoke scenario-smoke cluster-smoke fuzz experiments experiments-quick examples clean perfgate perfgate-static perfgate-manifest
 
 all: build vet lint test
+
+# The umbrella static gate: everything CI checks without running a test
+# or a benchmark — vet, the full lint suite, and the perfgate's
+# compiler-diagnostics half. Seconds, not minutes; run it before push.
+check: vet lint perfgate-static
 
 build:
 	$(GO) build ./...
@@ -42,6 +47,12 @@ lint-sarif:
 # render with `dot -Tsvg callgraph.dot -o callgraph.svg`.
 lint-graph:
 	$(GO) run ./cmd/spatial-lint -baseline .lint-baseline.json -graph callgraph.dot ./...
+
+# Kernel-shape subset only (bounds-provable, pointer-chase, hot-indirect,
+# map-order-leak): the fast sweep over the serving hot set. Same
+# directives and baseline as the full suite.
+kernelcheck:
+	$(GO) run ./cmd/spatial-kernelcheck -baseline .lint-baseline.json ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,134 @@
+// Command spatial-kernelcheck runs the kernel-shape subset of
+// internal/lint — the checks that decide whether the serving hot set's
+// data loops are kernel-grade:
+//
+//	bounds-provable  every index provably in bounds (SSA + value-range)
+//	pointer-chase    no load-dependent loads (linked walks, s[i][j])
+//	hot-indirect     no dynamic dispatch per iteration
+//	map-order-leak   no map order reaching serialized artifacts
+//
+// It is a focused frontend over the same driver spatial-lint uses: the
+// same suppression directives (`//lint:ignore check reason`), the same
+// baseline file, the same SARIF export — so a kernel sweep in CI or an
+// editor can run in seconds without loading the full suite.
+//
+// Usage:
+//
+//	spatial-kernelcheck [flags] [patterns...]
+//
+// Patterns default to "./...". Exit status is 0 when no gating
+// findings exist, 1 when findings remain, 2 on usage or load errors.
+// The warn-severity hot-indirect findings gate by default; pass
+// -fail-on error to let reasoned dispatch ride while bounds and chase
+// regressions still fail.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+// kernelChecks is the fixed check subset this command exists for.
+const kernelChecks = "bounds-provable,hot-indirect,map-order-leak,pointer-chase"
+
+func main() {
+	var (
+		jsonOut    = flag.Bool("json", false, "emit findings as JSON")
+		suppressed = flag.Bool("suppressed", false, "also print suppressed findings (with their reasons)")
+		dir        = flag.String("dir", ".", "directory patterns are resolved against")
+		failOn     = flag.String("fail-on", "warn", "minimum severity that fails the run: error, warn, or info")
+		baseline   = flag.String("baseline", ".lint-baseline.json", "baseline file of accepted findings (missing file = empty)")
+		sarifOut   = flag.String("sarif", "", "write the run as SARIF 2.1.0 to this file (\"-\" for stdout)")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	minSev := lint.Severity(*failOn)
+	switch minSev {
+	case lint.SeverityError, lint.SeverityWarn, lint.SeverityInfo:
+	default:
+		fail(fmt.Errorf("spatial-kernelcheck: -fail-on must be error, warn, or info (got %q)", *failOn))
+	}
+
+	analyzers, err := lint.SelectAnalyzers(kernelChecks)
+	if err != nil {
+		fail(err)
+	}
+	res, err := lint.RunOpts(*dir, lint.Options{
+		Patterns:  flag.Args(),
+		Analyzers: analyzers,
+		Tests:     true,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	base, err := lint.LoadBaseline(*baseline)
+	if err != nil {
+		fail(err)
+	}
+	res.ApplyBaseline(base)
+	// No stale-entry reporting here: a subset run cannot tell a stale
+	// entry from one absorbing a finding of a check it did not run;
+	// spatial-lint's full runs own that hygiene.
+
+	if *sarifOut != "" {
+		sw := os.Stdout
+		if *sarifOut != "-" {
+			f, err := os.Create(*sarifOut)
+			if err != nil {
+				fail(err)
+			}
+			sw = f
+		}
+		if err := res.WriteSARIF(sw); err != nil {
+			fail(err)
+		}
+		if sw != os.Stdout {
+			if err := sw.Close(); err != nil {
+				fail(err)
+			}
+		}
+	}
+
+	gating := res.Gating(minSev)
+	if *jsonOut {
+		out := struct {
+			Findings []lint.Finding `json:"findings"`
+			Packages int            `json:"packages"`
+		}{res.Findings, res.Packages}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fail(err)
+		}
+	} else {
+		nSupp, nBase := 0, 0
+		for _, f := range res.Findings {
+			switch {
+			case f.Suppressed:
+				nSupp++
+				if *suppressed {
+					fmt.Printf("%s (suppressed: %s)\n", f, f.SuppressReason)
+				}
+			case f.Baselined:
+				nBase++
+			default:
+				fmt.Println(f)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "spatial-kernelcheck: %d packages, %d gating findings (%d suppressed, %d baselined)\n",
+			res.Packages, len(gating), nSupp, nBase)
+	}
+	if len(gating) > 0 {
+		os.Exit(1)
+	}
+}

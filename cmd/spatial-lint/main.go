@@ -6,9 +6,12 @@
 // unchecked I/O errors on the server edges, the flow-sensitive
 // checks (lock balance, response-body and context-cancel leaks,
 // wall-clock bypasses, append aliasing) built on the CFG dataflow
-// engine, and the interprocedural checks (lock-order cycles, taint
+// engine, the interprocedural checks (lock-order cycles, taint
 // paths into filesystem sinks, hot-path allocations) built on the
-// whole-module call graph and its per-function summaries.
+// whole-module call graph and its per-function summaries, and the
+// kernel-shape checks (bounds-provable, pointer-chase, hot-indirect,
+// map-order-leak) built on the SSA + value-range layer — also
+// runnable alone, fast, as spatial-kernelcheck.
 //
 // Usage:
 //

@@ -349,8 +349,9 @@ func (c *Cluster) rebuild() {
 		}
 	}
 	ring := NewRing(ids, c.cfg.VirtualNodes)
-	members := make([]*member, ring.Len())
-	for i, id := range ring.IDs() {
+	ringIDs := ring.IDs()
+	members := make([]*member, len(ringIDs))
+	for i, id := range ringIDs {
 		members[i] = c.members[id]
 	}
 	// The swap stays under c.mu: two racing rebuilds could otherwise

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// AnalyzerBoundsProvable proves (or refuses to prove) every slice and
+// array index inside the hot set's data loops, using the SSA +
+// value-range layer: an index is clean when some lower bound is a
+// non-negative constant and some upper bound is at most len(base)-1 —
+// the same obligation the compiler's bounds-check elimination
+// discharges. Unproven affine indexes flag; indexes whose value comes
+// from memory (tree node fields, lookup tables) are data, not
+// induction, and are exempt — no loop restructuring would let the
+// compiler elide those checks. internal/perfgate cross-validates the
+// proofs against the compiler's isInBounds diagnostics and mints
+// boundsProvable contracts from the same scan.
+var AnalyzerBoundsProvable = &Analyzer{
+	Name:       "bounds-provable",
+	Doc:        "flags hot-loop slice indexes whose bounds the range analysis cannot prove",
+	Severity:   SeverityError,
+	RunProgram: runBoundsProvable,
+}
+
+func runBoundsProvable(pp *ProgramPass) {
+	forEachKernelFunc(pp, "boundsprovable", func(pass *Pass, scan *kernelScan, entry string) {
+		for _, ix := range scan.Indexes {
+			if ix.Proven || ix.LoadDerived {
+				continue
+			}
+			pp.Reportf(ix.Pos, "index %s into %s not provably within len (bounds check per data-loop iteration, reachable from %s); bound the loop by len or add a reslice hint", pass.ExprString(ix.Index), pass.ExprString(ix.Base), entry)
+		}
+	})
+}
+
+// forEachKernelFunc runs one kernel-shape scan per hot-set function and
+// hands the classified result to report. Inside the golden corpus each
+// analyzer sees only its own fixture directory, so the three checks'
+// fixtures don't cross-contaminate each other's want files.
+func forEachKernelFunc(pp *ProgramPass, corpusDir string, report func(pass *Pass, scan *kernelScan, entry string)) {
+	hot := pp.Prog.HotSet(KernelCheckEntry)
+	if len(hot.Entries) == 0 {
+		return
+	}
+	for _, hf := range hot.Funcs() {
+		n := hf.Node
+		if n.Body() == nil {
+			continue
+		}
+		if strings.Contains(filepath.ToSlash(n.Pkg.Dir), corpusMarker) && !pathHasAny(n.Pkg.Path, corpusDir) {
+			continue
+		}
+		pass := pp.PassFor(n.Pkg)
+		report(pass, scanKernelFunc(pass, n), hf.Entry.Name)
+	}
+}

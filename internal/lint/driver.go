@@ -16,6 +16,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerAppendAlias,
 		AnalyzerAtomicMix,
 		AnalyzerBodyLeak,
+		AnalyzerBoundsProvable,
 		AnalyzerChanDeadlock,
 		AnalyzerUnguardedField,
 		AnalyzerWgMisuse,
@@ -23,10 +24,13 @@ func Analyzers() []*Analyzer {
 		AnalyzerCtxPropagation,
 		AnalyzerFloatEq,
 		AnalyzerGoroutineLeak,
+		AnalyzerHotIndirect,
 		AnalyzerHotPathAlloc,
 		AnalyzerLockBalance,
 		AnalyzerLockOrder,
+		AnalyzerMapOrderLeak,
 		AnalyzerNondeterminism,
+		AnalyzerPointerChase,
 		AnalyzerTaintPath,
 		AnalyzerTelemetryCardinality,
 		AnalyzerUncheckedErr,

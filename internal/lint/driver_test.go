@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -112,5 +114,40 @@ func BenchmarkAnalyzeOnly(b *testing.B) {
 		for _, pkg := range pkgs {
 			analyzePackage(loader, pkg, analyzers, true, prog, nil)
 		}
+	}
+}
+
+// TestRepeatedRunsByteIdentical pins emission determinism end to end:
+// two independent loads and runs over the corpus must serialize to the
+// same bytes, JSON and SARIF both. Parallel package analysis, map-keyed
+// caches, and analyzer registration order all feed this — any of them
+// leaking iteration order shows up here as a diff.
+func TestRepeatedRunsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two module loads are slow; run without -short")
+	}
+	emit := func() (jsonBytes, sarifBytes []byte) {
+		t.Helper()
+		res, err := Run(".", []string{"./testdata/src/..."}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jsonBytes, err = json.MarshalIndent(res.Findings, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteSARIF(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return jsonBytes, buf.Bytes()
+	}
+	j1, s1 := emit()
+	j2, s2 := emit()
+	if !bytes.Equal(j1, j2) {
+		t.Error("JSON output differs between identical runs")
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Error("SARIF output differs between identical runs")
 	}
 }

@@ -1,0 +1,29 @@
+package lint
+
+// AnalyzerHotIndirect flags dynamically dispatched calls inside the
+// hot set's data loops: interface method calls and calls through
+// func-typed values (closures, callback fields). Each such call is an
+// indirect branch per served instance that blocks inlining and, with
+// it, every downstream optimization the perf contracts gate on.
+// Severity is warn, not error: some dispatch is the design (the
+// batcher's model indirection) and a reasoned //lint:ignore is the
+// documented escape hatch.
+var AnalyzerHotIndirect = &Analyzer{
+	Name:       "hot-indirect",
+	Doc:        "flags interface dispatch and func-value calls per data-loop iteration on the hot set",
+	Severity:   SeverityWarn,
+	RunProgram: runHotIndirect,
+}
+
+func runHotIndirect(pp *ProgramPass) {
+	forEachKernelFunc(pp, "hotindirect", func(pass *Pass, scan *kernelScan, entry string) {
+		for _, ind := range scan.Indirects {
+			switch ind.Kind {
+			case "interface-method":
+				pp.Reportf(ind.Pos, "interface call %s per data-loop iteration (dynamic dispatch on the hot set, reachable from %s); devirtualize or hoist the dispatch out of the loop", ind.Detail, entry)
+			case "func-value":
+				pp.Reportf(ind.Pos, "indirect call through %s per data-loop iteration (reachable from %s); devirtualize or hoist the dispatch out of the loop", ind.Detail, entry)
+			}
+		}
+	})
+}

@@ -1,0 +1,417 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the shared machinery behind the kernel-shape checks
+// (bounds-provable, pointer-chase, hot-indirect): one SSA + value-range
+// scan per hot function, classified into the machine-level shapes that
+// decide whether a data loop is kernel-grade — indexes the compiler can
+// prove in bounds, no load-dependent loads, no dynamic dispatch per
+// iteration. internal/perfgate consumes the same scan through
+// Program.KernelReport to mint boundsProvable/chaseFree contracts.
+
+// KernelCheckEntry is the entry predicate for the kernel-shape checks:
+// the serving, kernel and cluster roots the perf gate already watches,
+// plus exported functions in the checks' own corpus directories.
+func KernelCheckEntry(n *Node) bool {
+	if ServingEntry(n) || KernelEntry(n) || ClusterEntry(n) {
+		return true
+	}
+	if n.Decl == nil || !ast.IsExported(n.Decl.Name.Name) {
+		return false
+	}
+	return pathHasAny(n.Pkg.Path, "boundsprovable", "pointerchase", "hotindirect")
+}
+
+// kernelIndex is one index expression in a data loop.
+type kernelIndex struct {
+	Base, Index ast.Expr
+	Pos         token.Pos
+	// Proven: the range analysis established 0 <= Index < len(Base) on
+	// every path reaching the expression.
+	Proven bool
+	// LoadDerived: the index's def chain passes through memory (a field
+	// load, an element load, an opaque call). Such indexes are data, not
+	// induction, and the bounds-provable check leaves them alone.
+	LoadDerived bool
+}
+
+// kernelChase is one load-dependent load in a data loop.
+type kernelChase struct {
+	Pos    token.Pos
+	Kind   string // "linked-traversal" | "double-index"
+	Detail string
+}
+
+// kernelIndirect is one dynamically dispatched call in a data loop.
+type kernelIndirect struct {
+	Pos    token.Pos
+	Kind   string // "interface-method" | "func-value"
+	Detail string
+}
+
+// kernelScan is the classified result of scanning one function.
+type kernelScan struct {
+	Indexes   []kernelIndex
+	Chases    []kernelChase
+	Indirects []kernelIndirect
+}
+
+// KernelFacts summarizes a function's kernel shape for external
+// consumers (internal/perfgate's contract generator).
+type KernelFacts struct {
+	// LoopIndexes counts slice/array index expressions inside data loops.
+	LoopIndexes int
+	// UnprovenIndexes counts those whose bounds the range analysis could
+	// not prove, excluding load-derived indexes (which are data).
+	UnprovenIndexes int
+	// PointerChases counts load-dependent loads (linked traversals and
+	// nested-slice element loads) inside data loops.
+	PointerChases int
+}
+
+// KernelReport scans n's data loops and summarizes their kernel shape.
+// The scan is intraprocedural; n must belong to this program.
+func (p *Program) KernelReport(n *Node) KernelFacts {
+	if n == nil || n.Body() == nil {
+		return KernelFacts{}
+	}
+	pass := &Pass{
+		Fset:  p.Fset,
+		Files: n.Pkg.Files,
+		Pkg:   n.Pkg.Types,
+		Info:  n.Pkg.Info,
+		Path:  n.Pkg.Path,
+		Prog:  p,
+	}
+	scan := scanKernelFunc(pass, n)
+	facts := KernelFacts{PointerChases: len(scan.Chases)}
+	for _, ix := range scan.Indexes {
+		facts.LoopIndexes++
+		if !ix.Proven && !ix.LoadDerived {
+			facts.UnprovenIndexes++
+		}
+	}
+	return facts
+}
+
+// scanKernelFunc runs the SSA + range analysis over one function and
+// classifies every kernel-shape event inside its data loops.
+func scanKernelFunc(pass *Pass, n *Node) *kernelScan {
+	body := n.Body()
+	if body == nil || pass.Info == nil {
+		return &kernelScan{}
+	}
+	s := pass.BuildSSA(n.Decl, n.Lit)
+	r := NewRanges(s, pass)
+	scan := &kernelScan{}
+
+	scan.linkedTraversals(pass, s)
+
+	var stack []ast.Node
+	ast.Inspect(body, func(m ast.Node) bool {
+		if m == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if lit, isLit := m.(*ast.FuncLit); isLit && lit != n.Lit {
+			return false // literals are their own graph nodes
+		}
+		if inDataLoop(n.Pkg, stack) {
+			switch m := m.(type) {
+			case *ast.IndexExpr:
+				scan.classifyIndex(pass, s, r, m, stack)
+			case *ast.CallExpr:
+				scan.classifyCall(pass, m)
+			}
+		}
+		stack = append(stack, m)
+		return true
+	})
+	return scan
+}
+
+// classifyIndex records a slice/array index event and, when the indexed
+// base is a slice of slices loaded per iteration, a double-index chase.
+func (sc *kernelScan) classifyIndex(pass *Pass, s *SSA, r *Ranges, ix *ast.IndexExpr, stack []ast.Node) {
+	if !sliceOrArray(pass, ix.X) {
+		return
+	}
+	b := s.BlockOf(ix.Index)
+	if b == nil {
+		b = s.BlockOf(ix.X)
+	}
+	proven := false
+	if b != nil {
+		proven = r.ProveIndex(ix.X, ix.Index, b)
+	}
+	sc.Indexes = append(sc.Indexes, kernelIndex{
+		Base:        ix.X,
+		Index:       ix.Index,
+		Pos:         ix.Index.Pos(),
+		Proven:      proven,
+		LoadDerived: loadDerivedExpr(s, ix.Index),
+	})
+
+	// Double-index load: s[a][b] with s a slice of slices walks a row
+	// pointer per iteration where one flat backing array would not.
+	// Pure stores (out[i][c] = v) keep the row in a register and are
+	// exempt; compound assignments read first and are not.
+	inner, ok := ast.Unparen(ix.X).(*ast.IndexExpr)
+	if !ok || !isSliceOfSlices(pass, inner.X) {
+		return
+	}
+	if isPlainStoreTarget(ix, stack) {
+		return
+	}
+	sc.Chases = append(sc.Chases, kernelChase{
+		Pos:    ix.Pos(),
+		Kind:   "double-index",
+		Detail: pass.ExprString(ix),
+	})
+}
+
+// isSliceOfSlices reports whether e's type is a slice whose element is
+// itself a slice (the [][]T row-pointer layout; arrays are flat and do
+// not count).
+func isSliceOfSlices(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	_, elemSlice := sl.Elem().Underlying().(*types.Slice)
+	return elemSlice
+}
+
+// isPlainStoreTarget reports whether e appears directly as an LHS of a
+// plain (non-compound) assignment.
+func isPlainStoreTarget(e ast.Expr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	assign, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || (assign.Tok != token.ASSIGN && assign.Tok != token.DEFINE) {
+		return false
+	}
+	for _, l := range assign.Lhs {
+		if ast.Unparen(l) == e {
+			return true
+		}
+	}
+	return false
+}
+
+// classifyCall records dynamically dispatched calls: interface method
+// calls and calls through func-typed values (closures included).
+func (sc *kernelScan) classifyCall(pass *Pass, call *ast.CallExpr) {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[fn]; ok {
+			if sel.Kind() == types.MethodVal && types.IsInterface(sel.Recv()) {
+				sc.Indirects = append(sc.Indirects, kernelIndirect{
+					Pos:    call.Pos(),
+					Kind:   "interface-method",
+					Detail: pass.ExprString(fn),
+				})
+			}
+			return
+		}
+		// Not a method selection: a package-qualified function (static)
+		// or a func-typed struct field (dynamic).
+		if obj := pass.Info.Uses[fn.Sel]; obj != nil {
+			if _, isFunc := obj.(*types.Func); isFunc {
+				return
+			}
+		}
+		if isFuncValue(pass, fn) {
+			sc.Indirects = append(sc.Indirects, kernelIndirect{
+				Pos:    call.Pos(),
+				Kind:   "func-value",
+				Detail: pass.ExprString(fn),
+			})
+		}
+	case *ast.Ident:
+		obj := pass.Info.Uses[fn]
+		if obj == nil {
+			return
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return // direct call, builtin, or conversion
+		}
+		if isFuncValue(pass, fn) {
+			sc.Indirects = append(sc.Indirects, kernelIndirect{
+				Pos:    call.Pos(),
+				Kind:   "func-value",
+				Detail: fn.Name,
+			})
+		}
+	}
+}
+
+func isFuncValue(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Signature)
+	return ok
+}
+
+// linkedTraversals finds loop-carried pointer phis advanced through a
+// field load of themselves — `p = p.Next` — the linked-list walk whose
+// every iteration is a dependent load. Advancing through `&slice[i]`
+// is already the flat layout and does not flag.
+func (sc *kernelScan) linkedTraversals(pass *Pass, s *SSA) {
+	for _, phi := range s.Values {
+		if phi.Kind != ValPhi || !isPointerVar(phi.Var) {
+			continue
+		}
+		for j, arg := range phi.Args {
+			if !phi.ArgBack[j] || arg == nil {
+				continue
+			}
+			def := chaseCopies(s, arg, 0)
+			if def == nil || def.Kind != ValDef {
+				continue
+			}
+			base, path := selectorChain(def.Expr)
+			if base == nil || path == "" {
+				continue
+			}
+			if use := s.UseOf(base); use != nil && chaseCopies(s, use, 0) == chaseCopies(s, phi, 0) {
+				sc.Chases = append(sc.Chases, kernelChase{
+					Pos:    def.Expr.Pos(),
+					Kind:   "linked-traversal",
+					Detail: base.Name + "." + path,
+				})
+			}
+		}
+	}
+}
+
+func isPointerVar(v *types.Var) bool {
+	if v == nil {
+		return false
+	}
+	_, ok := v.Type().Underlying().(*types.Pointer)
+	return ok
+}
+
+// selectorChain decomposes p.Next.Next into (p, "Next.Next"); any other
+// shape returns nils.
+func selectorChain(e ast.Expr) (*ast.Ident, string) {
+	var parts []string
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			parts = append([]string{x.Sel.Name}, parts...)
+			e = x.X
+		case *ast.Ident:
+			if len(parts) == 0 {
+				return nil, ""
+			}
+			return x, strings.Join(parts, ".")
+		default:
+			return nil, ""
+		}
+	}
+}
+
+// chaseCopies follows plain copies (x := y) to the originating value,
+// so `q := p; p = q.Next` still closes the traversal cycle.
+func chaseCopies(s *SSA, v *Value, depth int) *Value {
+	for depth < 16 && v != nil && v.Kind == ValDef {
+		id, ok := ast.Unparen(v.Expr).(*ast.Ident)
+		if !ok {
+			return v
+		}
+		next := s.UseOf(id)
+		if next == nil {
+			return v
+		}
+		v = next
+		depth++
+	}
+	return v
+}
+
+// loadDerivedExpr reports whether e's value passes through memory: an
+// element or field load, an opaque call, an untracked variable. Such
+// indexes are data-dependent; the bounds-provable check exempts them
+// (the compiler cannot eliminate those checks either, and no loop
+// restructuring would change that).
+func loadDerivedExpr(s *SSA, e ast.Expr) bool {
+	visited := make(map[*Value]bool)
+	var exprLoads func(e ast.Expr, depth int) bool
+	var valueLoads func(v *Value, depth int) bool
+
+	exprLoads = func(e ast.Expr, depth int) bool {
+		if depth > 32 || e == nil {
+			return true
+		}
+		e = ast.Unparen(e)
+		if cv := s.pass.ConstValue(e); cv != nil {
+			return false
+		}
+		switch e := e.(type) {
+		case *ast.Ident:
+			return valueLoads(s.UseOf(e), depth+1)
+		case *ast.BinaryExpr:
+			return exprLoads(e.X, depth+1) || exprLoads(e.Y, depth+1)
+		case *ast.UnaryExpr:
+			if e.Op == token.ADD || e.Op == token.SUB || e.Op == token.XOR {
+				return exprLoads(e.X, depth+1)
+			}
+			return true
+		case *ast.CallExpr:
+			if isBuiltinCall(s.pass, e, "len") || isBuiltinCall(s.pass, e, "cap") {
+				return false
+			}
+			if s.pass.Info != nil {
+				if tv, ok := s.pass.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+					return exprLoads(e.Args[0], depth+1)
+				}
+			}
+			return true
+		}
+		return true
+	}
+	valueLoads = func(v *Value, depth int) bool {
+		if v == nil || depth > 32 {
+			return true
+		}
+		if visited[v] {
+			return false // cycle through a phi: no load on this path
+		}
+		visited[v] = true
+		switch v.Kind {
+		case ValParam, ValZero, ValRangeKey:
+			return false
+		case ValDef:
+			return exprLoads(v.Expr, depth+1)
+		case ValOpAssign:
+			return valueLoads(v.Prev, depth+1) || exprLoads(v.Expr, depth+1)
+		case ValIncDec:
+			return valueLoads(v.Prev, depth+1)
+		case ValPhi:
+			for _, a := range v.Args {
+				if valueLoads(a, depth+1) {
+					return true
+				}
+			}
+			return false
+		}
+		// ValRangeVal, ValOpaque, ValUnknown: memory or unmodelable.
+		return true
+	}
+	return exprLoads(e, 0)
+}

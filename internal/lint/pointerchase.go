@@ -1,0 +1,30 @@
+package lint
+
+// AnalyzerPointerChase flags load-dependent loads inside the hot set's
+// data loops — iterations whose next memory address depends on the
+// previous load, which serializes the loop on memory latency where a
+// flat index-based layout would pipeline. Two shapes count: linked
+// traversals (`p = p.Next`, every step a dependent load) and nested
+// slice element loads (`s[i][j]` with s a [][]T, a row-pointer load
+// per touch). Advancing through `&slice[i]` is already flat and does
+// not flag; neither do pure stores through a nested index, which keep
+// the row pointer in a register.
+var AnalyzerPointerChase = &Analyzer{
+	Name:       "pointer-chase",
+	Doc:        "flags load-dependent loads (linked traversals, nested slice loads) in hot data loops",
+	Severity:   SeverityError,
+	RunProgram: runPointerChase,
+}
+
+func runPointerChase(pp *ProgramPass) {
+	forEachKernelFunc(pp, "pointerchase", func(pass *Pass, scan *kernelScan, entry string) {
+		for _, ch := range scan.Chases {
+			switch ch.Kind {
+			case "linked-traversal":
+				pp.Reportf(ch.Pos, "linked traversal %s advances by a dependent load per data-loop iteration (reachable from %s); use a flat index-based layout", ch.Detail, entry)
+			case "double-index":
+				pp.Reportf(ch.Pos, "nested slice load %s walks a row pointer per data-loop iteration (reachable from %s); flatten to one backing array or hoist the row", ch.Detail, entry)
+			}
+		}
+	})
+}

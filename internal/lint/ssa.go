@@ -1,0 +1,799 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file lowers one function's statement-level CFG (cfg.go) into a
+// pruned SSA form over its local variables: dominator tree, dominance
+// frontiers, phi placement, and a renaming walk that maps every
+// identifier use to the unique definition reaching it. The form is
+// deliberately lightweight — values stay attached to the syntax that
+// defined them (no instruction selection), which is exactly what the
+// value-range analysis (vrange.go) and the kernel-shape checks
+// (kernel.go) need: "which definition does this index expression see,
+// and what expression produced it?"
+//
+// Variables whose address is taken, or which are captured by a nested
+// function literal, cannot be renamed soundly from syntax alone; their
+// uses map to a per-variable Unknown value and every analysis built on
+// top degrades conservatively (no facts, not wrong facts).
+
+// ValueKind classifies an SSA value by the syntax that produced it.
+type ValueKind uint8
+
+const (
+	// ValUnknown is the value of an untracked variable (address taken,
+	// captured by a closure, or used before any visible definition).
+	ValUnknown ValueKind = iota
+	// ValParam is a parameter or receiver, defined at function entry.
+	ValParam
+	// ValZero is a named result or var-declared local with no
+	// initializer: the zero value of its type.
+	ValZero
+	// ValDef is a plain assignment or initialization; Expr is the RHS.
+	ValDef
+	// ValOpAssign is x op= Expr; Prev is the incoming value of x.
+	ValOpAssign
+	// ValIncDec is x++ / x--; Prev is the incoming value of x.
+	ValIncDec
+	// ValRangeKey / ValRangeVal are the per-iteration key and value of a
+	// range statement; Expr is the ranged operand.
+	ValRangeKey
+	ValRangeVal
+	// ValOpaque is a definition whose value cannot be expressed as one
+	// expression: one leg of a multi-value assignment, a type-switch
+	// binding, a comma-ok receive. Expr (when set) is kept for
+	// provenance only.
+	ValOpaque
+	// ValPhi merges definitions at a CFG join; Args parallels
+	// Block.Preds.
+	ValPhi
+)
+
+// Value is one SSA definition of a source variable.
+type Value struct {
+	// ID is the value's position in SSA.Values (stable, build order).
+	ID int
+	// Kind classifies the defining syntax.
+	Kind ValueKind
+	// Var is the source variable this value versions (nil only for the
+	// shared unknown of an unresolved identifier).
+	Var *types.Var
+	// Block is the defining block (nil for ValUnknown).
+	Block *Block
+	// Expr is the defining expression: the RHS for ValDef/ValOpAssign,
+	// the ranged operand for range kinds, provenance for ValOpaque.
+	Expr ast.Expr
+	// Op is the operator token for ValOpAssign (ADD_ASSIGN, ...) and
+	// ValIncDec (INC / DEC).
+	Op token.Token
+	// Prev is the incoming value of the variable for ValOpAssign and
+	// ValIncDec.
+	Prev *Value
+	// Args are the phi operands, parallel to Block.Preds; ArgBack marks
+	// operands arriving over a loop back edge (the predecessor is
+	// dominated by this block).
+	Args    []*Value
+	ArgBack []bool
+}
+
+// SSA is the per-function SSA form layered over a CFG.
+type SSA struct {
+	// CFG is the underlying graph.
+	CFG *CFG
+	// Values lists every definition in creation order.
+	Values []*Value
+
+	pass    *Pass
+	decl    *ast.FuncDecl
+	lit     *ast.FuncLit
+	tracked map[*types.Var]bool
+	unknown map[*types.Var]*Value
+	useVal  map[*ast.Ident]*Value
+	defVal  map[*ast.Ident]*Value
+	phis    map[*Block][]*Value
+
+	// Dominance state, indexed by Block.Index. idom[entry] == entry;
+	// idom[unreachable] == -1.
+	idom     []int
+	children [][]int
+	rpo      []*Block
+
+	// exprBlock maps every expression evaluated by the function to the
+	// block that evaluates it.
+	exprBlock map[ast.Expr]*Block
+}
+
+// BuildSSA lowers fn (a declaration or a literal; exactly one non-nil)
+// into SSA form. The pass supplies type information; without it the
+// result tracks nothing and every query degrades to unknown.
+func (p *Pass) BuildSSA(decl *ast.FuncDecl, lit *ast.FuncLit) *SSA {
+	var body *ast.BlockStmt
+	if decl != nil {
+		body = decl.Body
+	} else if lit != nil {
+		body = lit.Body
+	}
+	s := &SSA{
+		pass:      p,
+		decl:      decl,
+		lit:       lit,
+		tracked:   make(map[*types.Var]bool),
+		unknown:   make(map[*types.Var]*Value),
+		useVal:    make(map[*ast.Ident]*Value),
+		defVal:    make(map[*ast.Ident]*Value),
+		phis:      make(map[*Block][]*Value),
+		exprBlock: make(map[ast.Expr]*Block),
+	}
+	if body == nil {
+		s.CFG = &CFG{}
+		return s
+	}
+	s.CFG = p.BuildCFG(body)
+	if p.Info != nil {
+		s.collectTracked(body)
+	}
+	s.computeDominators()
+	s.placePhis(body)
+	s.rename()
+	return s
+}
+
+// UseOf returns the SSA value an identifier use resolves to, nil when
+// the identifier is not a tracked use (type names, fields, package
+// qualifiers, identifiers inside nested literals).
+func (s *SSA) UseOf(id *ast.Ident) *Value { return s.useVal[id] }
+
+// DefOf returns the SSA value defined at an identifier on the left-hand
+// side of a definition, nil when id defines nothing tracked.
+func (s *SSA) DefOf(id *ast.Ident) *Value { return s.defVal[id] }
+
+// Phis returns the phi values placed at the head of b.
+func (s *SSA) Phis(b *Block) []*Value { return s.phis[b] }
+
+// BlockOf returns the block that evaluates e, nil for expressions the
+// renaming walk never visited (nested literals, type syntax).
+func (s *SSA) BlockOf(e ast.Expr) *Block { return s.exprBlock[e] }
+
+// Dominates reports whether a dominates b (reflexively).
+func (s *SSA) Dominates(a, b *Block) bool {
+	if a == nil || b == nil || s.idom == nil {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := s.idom[b.Index]
+		if next < 0 || next == b.Index {
+			return false
+		}
+		b = s.CFG.Blocks[next]
+	}
+}
+
+// Idom returns b's immediate dominator, nil for the entry block and
+// unreachable blocks.
+func (s *SSA) Idom(b *Block) *Block {
+	if b == nil || s.idom == nil {
+		return nil
+	}
+	i := s.idom[b.Index]
+	if i < 0 || i == b.Index {
+		return nil
+	}
+	return s.CFG.Blocks[i]
+}
+
+// collectTracked decides which variables can be renamed: declared in
+// this function (parameters, receiver, named results, locals), address
+// never taken, never referenced inside a nested function literal.
+func (s *SSA) collectTracked(body *ast.BlockStmt) {
+	info := s.pass.Info
+	for _, id := range s.paramIdents() {
+		if v, ok := info.Defs[id].(*types.Var); ok && id.Name != "_" {
+			s.tracked[v] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, isVar := info.Defs[id].(*types.Var); isVar && id.Name != "_" {
+				s.tracked[v] = true
+			}
+		}
+		return true
+	})
+	// Demote what cannot be tracked: &x anywhere, and any variable
+	// referenced inside a nested literal (reads included — the literal
+	// may observe a version this walk cannot order).
+	var demoteIn func(n ast.Node, insideLit bool)
+	demoteIn = func(n ast.Node, insideLit bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if m != s.lit {
+					demoteIn(m.Body, true)
+					return false
+				}
+			case *ast.UnaryExpr:
+				if m.Op == token.AND {
+					if id, ok := ast.Unparen(m.X).(*ast.Ident); ok {
+						if v := s.varOf(id); v != nil {
+							delete(s.tracked, v)
+						}
+					}
+				}
+			case *ast.Ident:
+				if insideLit {
+					if v := s.varOf(m); v != nil {
+						delete(s.tracked, v)
+					}
+				}
+			}
+			return true
+		})
+	}
+	demoteIn(body, false)
+}
+
+// paramIdents lists the receiver, parameter, and named-result
+// identifiers of the function.
+func (s *SSA) paramIdents() []*ast.Ident {
+	var out []*ast.Ident
+	var ft *ast.FuncType
+	if s.decl != nil {
+		ft = s.decl.Type
+		if s.decl.Recv != nil {
+			for _, f := range s.decl.Recv.List {
+				out = append(out, f.Names...)
+			}
+		}
+	} else if s.lit != nil {
+		ft = s.lit.Type
+	}
+	if ft == nil {
+		return out
+	}
+	if ft.Params != nil {
+		for _, f := range ft.Params.List {
+			out = append(out, f.Names...)
+		}
+	}
+	if ft.Results != nil {
+		for _, f := range ft.Results.List {
+			out = append(out, f.Names...)
+		}
+	}
+	return out
+}
+
+// varOf resolves an identifier to the variable it uses or defines.
+func (s *SSA) varOf(id *ast.Ident) *types.Var {
+	if s.pass.Info == nil {
+		return nil
+	}
+	obj := s.pass.Info.Uses[id]
+	if obj == nil {
+		obj = s.pass.Info.Defs[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// ---------------------------------------------------------------------
+// Dominators (iterative intersection over reverse postorder).
+
+func (s *SSA) computeDominators() {
+	n := len(s.CFG.Blocks)
+	if n == 0 || s.CFG.Entry == nil {
+		return
+	}
+	// Reverse postorder over reachable blocks.
+	seen := make([]bool, n)
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.Index] = true
+		for _, succ := range b.Succs {
+			if !seen[succ.Index] {
+				dfs(succ)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(s.CFG.Entry)
+	s.rpo = make([]*Block, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		s.rpo = append(s.rpo, post[i])
+	}
+	order := make([]int, n) // block index -> rpo position
+	for i := range order {
+		order[i] = -1
+	}
+	for i, b := range s.rpo {
+		order[b.Index] = i
+	}
+
+	s.idom = make([]int, n)
+	for i := range s.idom {
+		s.idom[i] = -1
+	}
+	entry := s.CFG.Entry.Index
+	s.idom[entry] = entry
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for order[a] > order[b] {
+				a = s.idom[a]
+			}
+			for order[b] > order[a] {
+				b = s.idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range s.rpo {
+			if b.Index == entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range b.Preds {
+				if s.idom[p.Index] < 0 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom < 0 {
+					newIdom = p.Index
+				} else {
+					newIdom = intersect(newIdom, p.Index)
+				}
+			}
+			if newIdom >= 0 && s.idom[b.Index] != newIdom {
+				s.idom[b.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+	s.children = make([][]int, n)
+	for _, b := range s.rpo {
+		if b.Index == entry {
+			continue
+		}
+		if d := s.idom[b.Index]; d >= 0 {
+			s.children[d] = append(s.children[d], b.Index)
+		}
+	}
+}
+
+// frontiers computes dominance frontiers (Cooper-Harvey-Kennedy).
+func (s *SSA) frontiers() [][]*Block {
+	df := make([][]*Block, len(s.CFG.Blocks))
+	for _, b := range s.rpo {
+		if len(b.Preds) < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			if s.idom[p.Index] < 0 {
+				continue
+			}
+			runner := p.Index
+			for runner != s.idom[b.Index] && runner >= 0 {
+				df[runner] = append(df[runner], b)
+				if runner == s.idom[runner] {
+					break // entry self-loop
+				}
+				runner = s.idom[runner]
+			}
+		}
+	}
+	return df
+}
+
+// ---------------------------------------------------------------------
+// Phi placement.
+
+// placePhis inserts phis at the iterated dominance frontier of each
+// tracked variable's definition blocks.
+func (s *SSA) placePhis(body *ast.BlockStmt) {
+	if s.idom == nil {
+		return
+	}
+	df := s.frontiers()
+
+	// Collect definition blocks per variable (entry defines parameters
+	// and named results).
+	defBlocks := make(map[*types.Var]map[*Block]bool)
+	addDef := func(v *types.Var, b *Block) {
+		if !s.tracked[v] {
+			return
+		}
+		m := defBlocks[v]
+		if m == nil {
+			m = make(map[*Block]bool)
+			defBlocks[v] = m
+		}
+		m[b] = true
+	}
+	for _, id := range s.paramIdents() {
+		if v, ok := s.pass.Info.Defs[id].(*types.Var); ok && id.Name != "_" {
+			addDef(v, s.CFG.Entry)
+		}
+	}
+	for _, b := range s.rpo {
+		for _, n := range b.Nodes {
+			s.forEachEvent(b, n, nil, func(id *ast.Ident, _ defKind) {
+				if v := s.varOf(id); v != nil {
+					addDef(v, b)
+				}
+			})
+		}
+	}
+
+	// Deterministic variable order: by first definition block and then
+	// declaration position.
+	vars := make([]*types.Var, 0, len(defBlocks))
+	for v := range defBlocks {
+		vars = append(vars, v)
+	}
+	sortVars(vars)
+
+	for _, v := range vars {
+		work := make([]*Block, 0, len(defBlocks[v]))
+		for _, b := range s.rpo { // deterministic order
+			if defBlocks[v][b] {
+				work = append(work, b)
+			}
+		}
+		placed := make(map[*Block]bool)
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, d := range df[b.Index] {
+				if placed[d] {
+					continue
+				}
+				placed[d] = true
+				phi := s.newValue(ValPhi, v, d)
+				phi.Args = make([]*Value, len(d.Preds))
+				phi.ArgBack = make([]bool, len(d.Preds))
+				s.phis[d] = append(s.phis[d], phi)
+				if !defBlocks[v][d] {
+					work = append(work, d)
+				}
+			}
+		}
+	}
+}
+
+func sortVars(vars []*types.Var) {
+	for i := 1; i < len(vars); i++ {
+		for j := i; j > 0 && vars[j].Pos() < vars[j-1].Pos(); j-- {
+			vars[j], vars[j-1] = vars[j-1], vars[j]
+		}
+	}
+}
+
+func (s *SSA) newValue(kind ValueKind, v *types.Var, b *Block) *Value {
+	val := &Value{ID: len(s.Values), Kind: kind, Var: v, Block: b}
+	s.Values = append(s.Values, val)
+	return val
+}
+
+// unknownFor returns the per-variable unknown value (created lazily).
+func (s *SSA) unknownFor(v *types.Var) *Value {
+	if u := s.unknown[v]; u != nil {
+		return u
+	}
+	u := &Value{ID: -1, Kind: ValUnknown, Var: v}
+	s.unknown[v] = u
+	return u
+}
+
+// ---------------------------------------------------------------------
+// Renaming.
+
+func (s *SSA) rename() {
+	if s.idom == nil {
+		return
+	}
+	stacks := make(map[*types.Var][]*Value)
+	top := func(v *types.Var) *Value {
+		if st := stacks[v]; len(st) > 0 {
+			return st[len(st)-1]
+		}
+		return s.unknownFor(v)
+	}
+
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		var pushed []*types.Var
+		push := func(v *types.Var, val *Value) {
+			stacks[v] = append(stacks[v], val)
+			pushed = append(pushed, v)
+		}
+		for _, phi := range s.phis[b] {
+			push(phi.Var, phi)
+		}
+		if b == s.CFG.Entry {
+			for _, id := range s.paramIdents() {
+				v, ok := s.pass.Info.Defs[id].(*types.Var)
+				if !ok || !s.tracked[v] {
+					continue
+				}
+				kind := ValParam
+				if s.isNamedResult(id) {
+					kind = ValZero
+				}
+				val := s.newValue(kind, v, b)
+				s.defVal[id] = val
+				push(v, val)
+			}
+		}
+		for _, n := range b.Nodes {
+			s.forEachEvent(b, n,
+				func(id *ast.Ident) {
+					v := s.varOf(id)
+					if v == nil {
+						return
+					}
+					if !s.tracked[v] {
+						s.useVal[id] = s.unknownFor(v)
+						return
+					}
+					s.useVal[id] = top(v)
+				},
+				func(id *ast.Ident, dk defKind) {
+					v := s.varOf(id)
+					if v == nil || !s.tracked[v] {
+						return
+					}
+					val := s.newValue(dk.kind, v, b)
+					val.Expr = dk.expr
+					val.Op = dk.op
+					if dk.kind == ValOpAssign || dk.kind == ValIncDec {
+						val.Prev = top(v)
+					}
+					s.defVal[id] = val
+					push(v, val)
+				})
+		}
+		for _, succ := range b.Succs {
+			j := predIndex(succ, b)
+			if j < 0 {
+				continue
+			}
+			for _, phi := range s.phis[succ] {
+				phi.Args[j] = top(phi.Var)
+				phi.ArgBack[j] = s.Dominates(succ, b)
+			}
+		}
+		for _, ci := range s.children[b.Index] {
+			walk(s.CFG.Blocks[ci])
+		}
+		for _, v := range pushed {
+			stacks[v] = stacks[v][:len(stacks[v])-1]
+		}
+	}
+	walk(s.CFG.Entry)
+}
+
+func (s *SSA) isNamedResult(id *ast.Ident) bool {
+	var ft *ast.FuncType
+	if s.decl != nil {
+		ft = s.decl.Type
+	} else if s.lit != nil {
+		ft = s.lit.Type
+	}
+	if ft == nil || ft.Results == nil {
+		return false
+	}
+	for _, f := range ft.Results.List {
+		for _, name := range f.Names {
+			if name == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func predIndex(b *Block, pred *Block) int {
+	for i, p := range b.Preds {
+		if p == pred {
+			return i
+		}
+	}
+	return -1
+}
+
+// ---------------------------------------------------------------------
+// Event walk: the single definition of evaluation order used by both
+// phi placement (defs only) and renaming (uses then defs).
+
+type defKind struct {
+	kind ValueKind
+	expr ast.Expr
+	op   token.Token
+}
+
+// forEachEvent visits the identifier uses and variable definitions a
+// CFG node performs, in evaluation order: for assignments all RHS uses
+// come before any LHS definition. Nested statements living in other
+// blocks (a range statement's body) are not visited; nested function
+// literals are opaque.
+func (s *SSA) forEachEvent(b *Block, n ast.Node, onUse func(*ast.Ident), onDef func(*ast.Ident, defKind)) {
+	uses := func(e ast.Expr) { s.usesIn(b, e, onUse) }
+	def := func(id *ast.Ident, dk defKind) {
+		if onDef != nil {
+			onDef(id, dk)
+		}
+	}
+
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, r := range n.Rhs {
+			uses(r)
+		}
+		opaque := len(n.Lhs) != len(n.Rhs)
+		for i, l := range n.Lhs {
+			id, isIdent := ast.Unparen(l).(*ast.Ident)
+			if !isIdent {
+				uses(l) // x[i] = v uses x and i
+				continue
+			}
+			if id.Name == "_" {
+				continue
+			}
+			switch {
+			case n.Tok == token.ASSIGN || n.Tok == token.DEFINE:
+				dk := defKind{kind: ValDef}
+				if opaque {
+					dk = defKind{kind: ValOpaque, expr: n.Rhs[0]}
+				} else {
+					dk.expr = n.Rhs[i]
+					// Multi-valued single RHS forms (comma-ok, type
+					// assertion) reached len equality only when 1 == 1; a
+					// 1:1 assignment from a multi-value call cannot occur.
+					if _, isAssert := ast.Unparen(dk.expr).(*ast.TypeAssertExpr); isAssert {
+						dk = defKind{kind: ValOpaque, expr: dk.expr}
+					}
+				}
+				def(id, dk)
+			default:
+				// Compound assignment x op= rhs: the LHS is read first.
+				if onUse != nil {
+					onUse(id)
+				}
+				def(id, defKind{kind: ValOpAssign, expr: n.Rhs[i], op: n.Tok})
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			if onUse != nil {
+				onUse(id)
+			}
+			def(id, defKind{kind: ValIncDec, op: n.Tok})
+		} else {
+			uses(n.X)
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				uses(v)
+			}
+			opaque := len(vs.Values) != 0 && len(vs.Values) != len(vs.Names)
+			for i, name := range vs.Names {
+				if name.Name == "_" {
+					continue
+				}
+				switch {
+				case len(vs.Values) == 0:
+					def(name, defKind{kind: ValZero})
+				case opaque:
+					def(name, defKind{kind: ValOpaque, expr: vs.Values[0]})
+				default:
+					def(name, defKind{kind: ValDef, expr: vs.Values[i]})
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		// Only the header belongs to this block; the body has its own
+		// blocks. Key and value are fresh per-iteration definitions.
+		uses(n.X)
+		rangeDef := func(e ast.Expr, kind ValueKind) {
+			if e == nil {
+				return
+			}
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+				if id.Name != "_" {
+					def(id, defKind{kind: kind, expr: n.X})
+				}
+				return
+			}
+			uses(e) // `for m[k] = range ...`: components are uses
+		}
+		rangeDef(n.Key, ValRangeKey)
+		rangeDef(n.Value, ValRangeVal)
+	case *ast.ExprStmt:
+		uses(n.X)
+	case *ast.SendStmt:
+		uses(n.Value)
+		uses(n.Chan)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			uses(r)
+		}
+	case *ast.DeferStmt:
+		uses(n.Call)
+	case *ast.GoStmt:
+		uses(n.Call)
+	case *ast.BranchStmt:
+		// No uses.
+	case ast.Expr:
+		// Condition, switch tag, or case expression.
+		uses(n)
+	case ast.Stmt:
+		// Any other statement form: visit its expressions as uses.
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, isLit := m.(*ast.FuncLit); isLit {
+				return false
+			}
+			if e, isExpr := m.(ast.Expr); isExpr {
+				uses(e)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// usesIn visits every identifier use inside e (lexical order ≈
+// evaluation order for expressions), recording the owning block for
+// each visited expression. Nested function literals are opaque;
+// selector fields and type names are not uses.
+func (s *SSA) usesIn(b *Block, e ast.Expr, onUse func(*ast.Ident)) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n != s.lit {
+				return false
+			}
+		case *ast.SelectorExpr:
+			s.exprBlock[n] = b
+			s.usesIn(b, n.X, onUse) // n.Sel is a field/method, not a use
+			return false
+		case *ast.KeyValueExpr:
+			s.exprBlock[n] = b
+			// Struct literal keys are field names, not variable uses.
+			if _, isIdent := n.Key.(*ast.Ident); !isIdent {
+				s.usesIn(b, n.Key, onUse)
+			}
+			s.usesIn(b, n.Value, onUse)
+			return false
+		case *ast.Ident:
+			s.exprBlock[n] = b
+			if onUse != nil {
+				onUse(n)
+			}
+			return false
+		case ast.Expr:
+			s.exprBlock[n] = b
+		}
+		return true
+	})
+}

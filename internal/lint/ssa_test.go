@@ -1,0 +1,273 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typedPass parses and type-checks one source file (the SSA builder
+// needs real type information, unlike the syntactic CFG tests).
+func typedPass(t *testing.T, src string) (*Pass, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "ssa_test_input.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &Pass{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}, f
+}
+
+// buildSSAFor type-checks src and lowers the function named fn.
+func buildSSAFor(t *testing.T, src, fn string) (*Pass, *SSA, *ast.FuncDecl) {
+	t.Helper()
+	p, f := typedPass(t, src)
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return p, p.BuildSSA(fd, nil), fd
+		}
+	}
+	t.Fatalf("no function %q", fn)
+	return nil, nil, nil
+}
+
+// identN returns the n-th (0-based) occurrence of name in source order.
+func identN(t *testing.T, root ast.Node, name string, n int) *ast.Ident {
+	t.Helper()
+	var found *ast.Ident
+	count := 0
+	ast.Inspect(root, func(k ast.Node) bool {
+		if id, ok := k.(*ast.Ident); ok && id.Name == name {
+			if count == n {
+				found = id
+			}
+			count++
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("ident %q #%d not found (%d occurrences)", name, n, count)
+	}
+	return found
+}
+
+// lastIdent returns the last occurrence of name in source order.
+func lastIdent(t *testing.T, root ast.Node, name string) *ast.Ident {
+	t.Helper()
+	var found *ast.Ident
+	ast.Inspect(root, func(k ast.Node) bool {
+		if id, ok := k.(*ast.Ident); ok && id.Name == name {
+			found = id
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("ident %q not found", name)
+	}
+	return found
+}
+
+func TestSSAIfDiamondPhi(t *testing.T) {
+	_, s, fd := buildSSAFor(t, `package p
+func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	}
+	return x
+}`, "f")
+	use := s.UseOf(lastIdent(t, fd, "x"))
+	if use == nil {
+		t.Fatal("no value for x at return")
+	}
+	if use.Kind != ValPhi {
+		t.Fatalf("x at return: kind = %d, want ValPhi", use.Kind)
+	}
+	if len(use.Args) != 2 {
+		t.Fatalf("phi args = %d, want 2", len(use.Args))
+	}
+	for i, a := range use.Args {
+		if a == nil || a.Kind != ValDef {
+			t.Fatalf("phi arg %d: %+v, want ValDef", i, a)
+		}
+		if use.ArgBack[i] {
+			t.Fatalf("phi arg %d marked as back edge in an if diamond", i)
+		}
+	}
+}
+
+func TestSSAForLoopPhiBackEdge(t *testing.T) {
+	_, s, fd := buildSSAFor(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`, "f")
+	// The i in `i < n` reads the loop phi merging init and increment.
+	use := s.UseOf(identN(t, fd, "i", 1))
+	if use == nil || use.Kind != ValPhi {
+		t.Fatalf("i in loop condition: %+v, want phi", use)
+	}
+	var fwd, back int
+	for j, a := range use.Args {
+		if a == nil {
+			t.Fatalf("phi arg %d is nil", j)
+		}
+		if use.ArgBack[j] {
+			back++
+			if a.Kind != ValIncDec {
+				t.Fatalf("back-edge arg kind = %d, want ValIncDec", a.Kind)
+			}
+		} else {
+			fwd++
+			if a.Kind != ValDef {
+				t.Fatalf("forward arg kind = %d, want ValDef", a.Kind)
+			}
+		}
+	}
+	if fwd != 1 || back != 1 {
+		t.Fatalf("phi edges: %d forward, %d back; want 1 and 1", fwd, back)
+	}
+	// s at the return merges the init and the loop body's +=.
+	ret := s.UseOf(lastIdent(t, fd, "s"))
+	if ret == nil || ret.Kind != ValPhi {
+		t.Fatalf("s at return: %+v, want phi", ret)
+	}
+}
+
+func TestSSASwitchPhi(t *testing.T) {
+	_, s, fd := buildSSAFor(t, `package p
+func f(k int) int {
+	x := 0
+	switch k {
+	case 1:
+		x = 1
+	case 2:
+		x = 2
+	default:
+		x = 3
+	}
+	return x
+}`, "f")
+	use := s.UseOf(lastIdent(t, fd, "x"))
+	if use == nil || use.Kind != ValPhi {
+		t.Fatalf("x at return: %+v, want phi", use)
+	}
+	if len(use.Args) != 3 {
+		t.Fatalf("phi args = %d, want 3 (one per case)", len(use.Args))
+	}
+	for i, a := range use.Args {
+		if a == nil || a.Kind != ValDef {
+			t.Fatalf("phi arg %d: %+v, want ValDef", i, a)
+		}
+	}
+}
+
+func TestSSADefUseIntegrity(t *testing.T) {
+	_, s, fd := buildSSAFor(t, `package p
+func f(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			total += i
+		} else {
+			total -= 1
+		}
+	}
+	return total
+}`, "f")
+	// Every use of a tracked local resolves to a value recorded in
+	// s.Values, and phi argument counts match predecessor counts.
+	inValues := make(map[*Value]bool, len(s.Values))
+	for i, v := range s.Values {
+		if v.ID != i {
+			t.Fatalf("value %d has ID %d", i, v.ID)
+		}
+		inValues[v] = true
+	}
+	ast.Inspect(fd.Body, func(k ast.Node) bool {
+		id, ok := k.(*ast.Ident)
+		if !ok || (id.Name != "total" && id.Name != "i" && id.Name != "n") {
+			return true
+		}
+		if use := s.UseOf(id); use != nil && !inValues[use] {
+			t.Errorf("use of %s at %v resolves to a value outside s.Values", id.Name, id.Pos())
+		}
+		if def := s.DefOf(id); def != nil && !inValues[def] {
+			t.Errorf("def of %s at %v resolves to a value outside s.Values", id.Name, id.Pos())
+		}
+		return true
+	})
+	for _, b := range s.rpo {
+		for _, phi := range s.Phis(b) {
+			if len(phi.Args) != len(b.Preds) {
+				t.Errorf("block %d: phi has %d args for %d preds", b.Index, len(phi.Args), len(b.Preds))
+			}
+			if len(phi.ArgBack) != len(phi.Args) {
+				t.Errorf("block %d: ArgBack length mismatch", b.Index)
+			}
+			for _, a := range phi.Args {
+				if a != nil && !inValues[a] {
+					t.Errorf("block %d: phi arg outside s.Values", b.Index)
+				}
+			}
+		}
+	}
+}
+
+func TestSSAAddressTakenDemoted(t *testing.T) {
+	_, s, fd := buildSSAFor(t, `package p
+func g(p *int) {}
+func f() int {
+	y := 1
+	g(&y)
+	return y
+}`, "f")
+	use := s.UseOf(lastIdent(t, fd, "y"))
+	if use == nil {
+		t.Fatal("no value for y at return")
+	}
+	if use.Kind != ValUnknown {
+		t.Fatalf("address-taken y: kind = %d, want ValUnknown", use.Kind)
+	}
+}
+
+func TestSSADominance(t *testing.T) {
+	_, s, fd := buildSSAFor(t, `package p
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	}
+	return x
+}`, "f")
+	entry := s.CFG.Entry
+	retBlock := s.BlockOf(lastIdent(t, fd, "x"))
+	if retBlock == nil {
+		t.Fatal("return block not recorded")
+	}
+	if !s.Dominates(entry, retBlock) {
+		t.Error("entry must dominate the return block")
+	}
+	if s.Dominates(retBlock, entry) {
+		t.Error("return block must not dominate entry")
+	}
+	if s.Idom(entry) != nil {
+		t.Error("entry has no immediate dominator")
+	}
+}

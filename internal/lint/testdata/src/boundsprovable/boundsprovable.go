@@ -1,0 +1,84 @@
+// Package boundsprovable is spatial-lint golden-corpus input for the
+// bounds-provable kernel check: index expressions inside data loops
+// whose bounds the SSA value-range analysis must prove, or flag as a
+// per-iteration bounds check.
+package boundsprovable
+
+// Unbounded indexes dst by the loop over src: the lengths are
+// unrelated, so every iteration carries a bounds check.
+func Unbounded(dst, src []float64) {
+	for i := range src {
+		dst[i] = src[i] // want "index i into dst not provably within len"
+	}
+}
+
+// Hinted restates the caller contract with a reslice, the documented
+// remedy; nothing may be flagged.
+func Hinted(dst, src []float64) {
+	dst = dst[:len(src)]
+	for i := range src {
+		dst[i] = src[i]
+	}
+}
+
+// OffByOne runs the induction one past the proven range.
+func OffByOne(s []float64) float64 {
+	var t float64
+	for i := 0; i < len(s); i++ {
+		t += s[i+1] // want "index i \+ 1 into s not provably within len"
+	}
+	return t
+}
+
+// Rooted proves the constant root index through the emptiness guard.
+func Rooted(nodes []float64) float64 {
+	if len(nodes) == 0 {
+		return 0
+	}
+	var t float64
+	for i := 0; i < 4; i++ {
+		t += nodes[0]
+	}
+	return t
+}
+
+// ModGuarded proves the ring index: the dominating guard pins the
+// operand non-negative and the modulus bounds it below the length.
+func ModGuarded(ring []float64, starts []int) float64 {
+	if len(ring) == 0 {
+		return 0
+	}
+	var t float64
+	for _, s := range starts {
+		if s < 0 {
+			continue
+		}
+		t += ring[s%len(ring)]
+	}
+	return t
+}
+
+// Gather reads through caller-supplied positions: load-derived indexes
+// are data, not induction, and stay exempt however unprovable.
+func Gather(dst, src []float64, idx []int) {
+	dst = dst[:len(idx)]
+	for i, j := range idx {
+		dst[i] = src[j]
+	}
+}
+
+// Search is a binary search: the relational invariant lo <= mid < hi
+// is beyond interval reasoning and carries a reasoned suppression.
+func Search(s []float64, x float64) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		//lint:ignore bounds-provable the binary-search invariant lo <= mid < hi is relational; interval analysis cannot carry it
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

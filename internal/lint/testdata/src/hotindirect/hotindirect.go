@@ -1,0 +1,54 @@
+// Package hotindirect is spatial-lint golden-corpus input for the
+// hot-indirect kernel check: dynamic dispatch per data-loop iteration.
+package hotindirect
+
+// Scorer is the dispatch surface the check watches.
+type Scorer interface {
+	Score(x float64) float64
+}
+
+// Apply dispatches through the interface once per element.
+func Apply(s Scorer, xs []float64) float64 {
+	var t float64
+	for _, x := range xs {
+		t += s.Score(x) // want "interface call s.Score per data-loop iteration"
+	}
+	return t
+}
+
+// ApplyFunc calls through a func value once per element.
+func ApplyFunc(f func(float64) float64, xs []float64) float64 {
+	var t float64
+	for _, x := range xs {
+		t += f(x) // want "indirect call through f per data-loop iteration"
+	}
+	return t
+}
+
+type affine struct{ a, b float64 }
+
+func (m affine) Score(x float64) float64 { return m.a*x + m.b }
+
+// ApplyConcrete devirtualizes before the loop: concrete method calls
+// dispatch statically and must not be flagged.
+func ApplyConcrete(m affine, xs []float64) float64 {
+	var t float64
+	for _, x := range xs {
+		t += m.Score(x)
+	}
+	return t
+}
+
+// Visit is the sanctioned callback shape: the caller-supplied
+// predicate is the iteration API, with a reasoned suppression.
+func Visit(xs []float64, f func(float64) bool) int {
+	n := 0
+	for _, x := range xs {
+		//lint:ignore hot-indirect the caller-supplied predicate is the iteration API; the loop exists to drive it
+		if !f(x) {
+			break
+		}
+		n++
+	}
+	return n
+}

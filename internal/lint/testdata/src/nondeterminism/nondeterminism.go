@@ -36,7 +36,7 @@ func Seeded(seed int64) *rand.Rand {
 func Render(m map[string]int) string {
 	var b strings.Builder
 	for k, v := range m { // want "map iteration order leaks into output"
-		fmt.Fprintf(&b, "%s=%d;", k, v)
+		fmt.Fprintf(&b, "%s=%d;", k, v) // want "map iteration order reaches serialized output"
 	}
 	return b.String()
 }

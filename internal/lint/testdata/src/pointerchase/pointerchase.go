@@ -1,0 +1,89 @@
+// Package pointerchase is spatial-lint golden-corpus input for the
+// pointer-chase kernel check: load-dependent loads in data loops —
+// linked traversals and nested slice element loads.
+package pointerchase
+
+type node struct {
+	next *node
+	val  float64
+}
+
+// Walk advances by a dependent load per iteration: the classic linked
+// traversal.
+func Walk(head *node) float64 {
+	var t float64
+	for p := head; p != nil; p = p.next { // want "linked traversal p.next"
+		t += p.val
+	}
+	return t
+}
+
+// SumRows reloads the row pointer on every element touch.
+func SumRows(rows [][]float64) float64 {
+	var t float64
+	for i := range rows {
+		for j := range rows[i] {
+			t += rows[i][j] // want "nested slice load"
+		}
+	}
+	return t
+}
+
+// ScaleRows reads before writing through the nested index: a compound
+// assignment is a load, and the chase is real.
+func ScaleRows(rows [][]float64, v float64) {
+	for i := range rows {
+		for j := range rows[i] {
+			rows[i][j] *= v // want "nested slice load"
+		}
+	}
+}
+
+// FillRows stores through the nested index: the row pointer stays in a
+// register and no chase is flagged.
+func FillRows(rows [][]float64, v float64) {
+	for i := range rows {
+		for j := range rows[i] {
+			rows[i][j] = v
+		}
+	}
+}
+
+// HoistedRow is the documented remedy: one row load per row, flat
+// indexing inside.
+func HoistedRow(rows [][]float64) float64 {
+	var t float64
+	for i := range rows {
+		row := rows[i]
+		for j := range row {
+			t += row[j]
+		}
+	}
+	return t
+}
+
+type entry struct {
+	weight float64
+}
+
+// Flat advances through a flat slice by index; taking the element
+// address is not a dependent load.
+func Flat(es []entry) float64 {
+	var t float64
+	for i := range es {
+		e := &es[i]
+		t += e.weight
+	}
+	return t
+}
+
+// Intrusive iterates an intrusive list whose layout is the exported
+// API contract; the traversal carries a reasoned suppression.
+func Intrusive(head *node) int {
+	n := 0
+	//lint:ignore pointer-chase the intrusive list layout is the exported API contract; flattening would break embedders
+	for p := head; p != nil; p = p.next {
+		n++
+	}
+	return n
+}

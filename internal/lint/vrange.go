@@ -1,0 +1,1295 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// This file is the value-range layer over the SSA form (ssa.go): a
+// structural value numbering that makes `n := len(s); i < n` and
+// `i < len(s)` the same fact, symbolic intervals whose bounds are
+// "value-number plus offset", two-phase widening on loop back edges,
+// and dominating-branch refinement. Its one real client question is the
+// bounds-provable check's: "is this index expression provably inside
+// the indexed slice's length on every path that reaches it?" — the
+// same question the compiler's bounds-check-elimination pass answers,
+// asked at review time so the answer can gate.
+//
+// The numbering is deliberately optimistic about memory: a field chain
+// `g.classes` keeps one number for the whole function even though a
+// store could change it. Kernels do not rebind their receivers
+// mid-loop, and the optimism is what lets `make([]T, g.classes)` prove
+// `bases[c]` for `c < g.classes`. This is a review tool, not a
+// verifier; the compiler's isInBounds diagnostics cross-check it in
+// internal/perfgate.
+
+// Bound is one end of an interval: either infinite, or the runtime
+// value numbered VN plus Off (VN < 0 means the pure constant Off).
+type Bound struct {
+	Inf bool
+	VN  int
+	Off int64
+}
+
+// IsConst reports a pure-constant bound and its value.
+func (b Bound) IsConst() (int64, bool) {
+	if b.Inf || b.VN >= 0 {
+		return 0, false
+	}
+	return b.Off, true
+}
+
+func constBound(c int64) Bound  { return Bound{VN: -1, Off: c} }
+func symBound(vn int) Bound     { return Bound{VN: vn} }
+func (b Bound) add(c int64) Bound {
+	if b.Inf {
+		return b
+	}
+	b.Off += c
+	return b
+}
+
+// sameVN reports whether two bounds track the same runtime value.
+func (b Bound) sameVN(o Bound) bool {
+	return !b.Inf && !o.Inf && b.VN == o.VN
+}
+
+func (b Bound) String() string {
+	switch {
+	case b.Inf:
+		return "inf"
+	case b.VN < 0:
+		return fmt.Sprintf("%d", b.Off)
+	case b.Off == 0:
+		return fmt.Sprintf("v%d", b.VN)
+	default:
+		return fmt.Sprintf("v%d%+d", b.VN, b.Off)
+	}
+}
+
+// Interval is a symbolic range [Lo, Hi]; Inf bounds are unbounded.
+type Interval struct {
+	Lo, Hi Bound
+}
+
+func (iv Interval) String() string { return "[" + iv.Lo.String() + "," + iv.Hi.String() + "]" }
+
+var topInterval = Interval{Lo: Bound{Inf: true}, Hi: Bound{Inf: true}}
+
+func constInterval(c int64) Interval { return Interval{Lo: constBound(c), Hi: constBound(c)} }
+
+// exactly is the interval of a value known only by its number: the
+// (single) runtime value vn, exactly.
+func exactly(vn int) Interval { return Interval{Lo: symBound(vn), Hi: symBound(vn)} }
+
+func (iv Interval) shift(c int64) Interval {
+	return Interval{Lo: iv.Lo.add(c), Hi: iv.Hi.add(c)}
+}
+
+// join is the lattice union: bounds that disagree and cannot be
+// ordered widen to infinity.
+func joinIntervals(a, b Interval) Interval {
+	return Interval{Lo: lowerOf(a.Lo, b.Lo), Hi: upperOf(a.Hi, b.Hi)}
+}
+
+func lowerOf(a, b Bound) Bound {
+	if a.Inf || b.Inf {
+		return Bound{Inf: true}
+	}
+	if a.VN == b.VN {
+		if b.Off < a.Off {
+			return b
+		}
+		return a
+	}
+	ca, aok := a.IsConst()
+	cb, bok := b.IsConst()
+	if aok && bok {
+		if cb < ca {
+			return b
+		}
+		return a
+	}
+	return Bound{Inf: true}
+}
+
+func upperOf(a, b Bound) Bound {
+	if a.Inf || b.Inf {
+		return Bound{Inf: true}
+	}
+	if a.VN == b.VN {
+		if b.Off > a.Off {
+			return b
+		}
+		return a
+	}
+	ca, aok := a.IsConst()
+	cb, bok := b.IsConst()
+	if aok && bok {
+		if cb > ca {
+			return b
+		}
+		return a
+	}
+	return Bound{Inf: true}
+}
+
+// ---------------------------------------------------------------------
+// Value numbering.
+
+type binDef struct {
+	op   token.Token
+	l, r int
+}
+
+type vnum struct {
+	ssa  *SSA
+	pass *Pass
+
+	next   int
+	keys   map[string]int
+	valVN  map[*Value]int
+	exprVN map[ast.Expr]int
+
+	constVal map[int]int64 // VN -> constant value
+	bins     map[int]binDef
+
+	// lenOfVN maps a slice value's VN to the VN of its length, learned
+	// from make calls, composite literals, and reslicings. constLenVN
+	// holds the same fact when the length is a compile-time constant.
+	lenOfVN map[int]int
+}
+
+func newVNum(s *SSA, p *Pass) *vnum {
+	return &vnum{
+		ssa:      s,
+		pass:     p,
+		keys:     make(map[string]int),
+		valVN:    make(map[*Value]int),
+		exprVN:   make(map[ast.Expr]int),
+		constVal: make(map[int]int64),
+		bins:     make(map[int]binDef),
+		lenOfVN:  make(map[int]int),
+	}
+}
+
+func (n *vnum) intern(key string) int {
+	if vn, ok := n.keys[key]; ok {
+		return vn
+	}
+	vn := n.next
+	n.next++
+	n.keys[key] = vn
+	return vn
+}
+
+func (n *vnum) constVN(c int64) int {
+	vn := n.intern(fmt.Sprintf("c:%d", c))
+	n.constVal[vn] = c
+	return vn
+}
+
+func (n *vnum) isConst(vn int) (int64, bool) {
+	c, ok := n.constVal[vn]
+	return c, ok
+}
+
+// freshFor gives a value its own number, keyed by the stable value ID.
+func (n *vnum) freshFor(v *Value) int {
+	if v.Kind == ValUnknown && v.Var != nil {
+		// Every use of an untracked variable shares one number: the
+		// optimistic assumption that it is not mutated between the uses
+		// this analysis relates (documented heuristic).
+		return n.intern(fmt.Sprintf("unk:%d", v.Var.Pos()))
+	}
+	return n.intern(fmt.Sprintf("v:%d", v.ID))
+}
+
+func (n *vnum) binVN(op token.Token, l, r int) int {
+	lc, lok := n.isConst(l)
+	rc, rok := n.isConst(r)
+	if lok && rok {
+		switch op {
+		case token.ADD:
+			return n.constVN(lc + rc)
+		case token.SUB:
+			return n.constVN(lc - rc)
+		case token.MUL:
+			return n.constVN(lc * rc)
+		case token.QUO:
+			if rc != 0 {
+				return n.constVN(lc / rc)
+			}
+		case token.REM:
+			if rc != 0 {
+				return n.constVN(lc % rc)
+			}
+		}
+	}
+	// Normalizations: x±0 is x; commutative operands in canonical order.
+	if (op == token.ADD || op == token.SUB) && rok && rc == 0 {
+		return l
+	}
+	if op == token.ADD && lok && lc == 0 {
+		return r
+	}
+	if op == token.SUB && l == r {
+		return n.constVN(0)
+	}
+	if op == token.SUB {
+		// sub(add(x, w), x) = w and sub(add(x, w), w) = x — the
+		// simplification that makes len(probs[i*k : i*k+k]) equal k.
+		if bd, ok := n.bins[l]; ok && bd.op == token.ADD {
+			if bd.l == r {
+				return bd.r
+			}
+			if bd.r == r {
+				return bd.l
+			}
+		}
+	}
+	if (op == token.ADD || op == token.MUL) && r < l {
+		l, r = r, l
+	}
+	vn := n.intern(fmt.Sprintf("b:%s:%d:%d", op, l, r))
+	if _, seen := n.bins[vn]; !seen {
+		n.bins[vn] = binDef{op: op, l: l, r: r}
+	}
+	return vn
+}
+
+// bound wraps a value number as a Bound, collapsing numbers that are
+// known constants into pure-constant bounds.
+func (n *vnum) bound(vn int) Bound {
+	if c, ok := n.isConst(vn); ok {
+		return constBound(c)
+	}
+	return symBound(vn)
+}
+
+// lenOf returns the number of len(x) given x's number, routing through
+// any learned length fact so `len(out)` after `out = out[:n]` equals
+// `vn(n)`.
+func (n *vnum) lenOf(sliceVN int) int {
+	if l, ok := n.lenOfVN[sliceVN]; ok {
+		return l
+	}
+	return n.intern(fmt.Sprintf("len:%d", sliceVN))
+}
+
+// linearize decomposes vn through +/- constant binops into (base,
+// offset), so len(weights)+1 and len(weights) compare as the same
+// symbol one apart.
+func (n *vnum) linearize(vn int) (int, int64) {
+	var off int64
+	for i := 0; i < 8; i++ {
+		bd, ok := n.bins[vn]
+		if !ok {
+			break
+		}
+		if c, cok := n.isConst(bd.r); cok && (bd.op == token.ADD || bd.op == token.SUB) {
+			if bd.op == token.ADD {
+				vn, off = bd.l, off+c
+			} else {
+				vn, off = bd.l, off-c
+			}
+			continue
+		}
+		if c, cok := n.isConst(bd.l); cok && bd.op == token.ADD {
+			vn, off = bd.r, off+c
+			continue
+		}
+		break
+	}
+	return vn, off
+}
+
+func (n *vnum) vnValue(v *Value) int {
+	if v == nil {
+		return n.intern("nilvalue")
+	}
+	if vn, ok := n.valVN[v]; ok {
+		return vn
+	}
+	// Break def-chain cycles (a phi reached through its own expression)
+	// with the fresh number first; phis and opaque kinds keep it.
+	vn := n.freshFor(v)
+	n.valVN[v] = vn
+	switch v.Kind {
+	case ValDef:
+		vn = n.vnExpr(v.Expr)
+		n.valVN[v] = vn
+		n.recordLenFacts(vn, v.Expr)
+	case ValOpAssign:
+		op := assignOp(v.Op)
+		if op != token.ILLEGAL {
+			vn = n.binVN(op, n.vnValue(v.Prev), n.vnExpr(v.Expr))
+			n.valVN[v] = vn
+		}
+	case ValIncDec:
+		op := token.ADD
+		if v.Op == token.DEC {
+			op = token.SUB
+		}
+		vn = n.binVN(op, n.vnValue(v.Prev), n.constVN(1))
+		n.valVN[v] = vn
+	case ValZero:
+		if v.Var != nil && isIntegerType(v.Var.Type()) {
+			vn = n.constVN(0)
+			n.valVN[v] = vn
+		}
+	}
+	return vn
+}
+
+// assignOp maps an op-assign token to its binary operator.
+func assignOp(tok token.Token) token.Token {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD
+	case token.SUB_ASSIGN:
+		return token.SUB
+	case token.MUL_ASSIGN:
+		return token.MUL
+	case token.QUO_ASSIGN:
+		return token.QUO
+	case token.REM_ASSIGN:
+		return token.REM
+	case token.AND_ASSIGN:
+		return token.AND
+	case token.OR_ASSIGN:
+		return token.OR
+	case token.XOR_ASSIGN:
+		return token.XOR
+	case token.SHL_ASSIGN:
+		return token.SHL
+	case token.SHR_ASSIGN:
+		return token.SHR
+	}
+	return token.ILLEGAL
+}
+
+func isIntegerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func (n *vnum) siteVN(e ast.Expr) int {
+	return n.intern(fmt.Sprintf("site:%d", e.Pos()))
+}
+
+func (n *vnum) vnExpr(e ast.Expr) int {
+	if e == nil {
+		return n.intern("nilexpr")
+	}
+	e = ast.Unparen(e)
+	if vn, ok := n.exprVN[e]; ok {
+		return vn
+	}
+	vn := n.computeExprVN(e)
+	n.exprVN[e] = vn
+	return vn
+}
+
+func (n *vnum) computeExprVN(e ast.Expr) int {
+	// Compile-time integer constants first: they subsume identifiers
+	// bound to constants and folded expressions.
+	if cv := n.pass.ConstValue(e); cv != nil && cv.Kind() == constant.Int {
+		if c, exact := constant.Int64Val(cv); exact {
+			return n.constVN(c)
+		}
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if use := n.ssa.UseOf(e); use != nil {
+			return n.vnValue(use)
+		}
+		// Package-level variable or other object: one number per object.
+		if obj := objectOf(n.pass, e); obj != nil {
+			return n.intern(fmt.Sprintf("obj:%d", obj.Pos()))
+		}
+		return n.siteVN(e)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+			token.AND, token.OR, token.XOR, token.SHL, token.SHR:
+			return n.binVN(e.Op, n.vnExpr(e.X), n.vnExpr(e.Y))
+		}
+		return n.siteVN(e)
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.ADD:
+			return n.vnExpr(e.X)
+		case token.SUB:
+			return n.binVN(token.SUB, n.constVN(0), n.vnExpr(e.X))
+		}
+		return n.siteVN(e)
+	case *ast.CallExpr:
+		if isBuiltinCall(n.pass, e, "len") && len(e.Args) == 1 {
+			arg := e.Args[0]
+			if at := arrayTypeOf(n.pass, arg); at != nil {
+				return n.constVN(at.Len())
+			}
+			return n.lenOf(n.vnExpr(arg))
+		}
+		// Integer conversions pass the value through (mod overflow —
+		// acceptable for index reasoning, where widths only shrink facts).
+		if n.pass.Info != nil {
+			if tv, ok := n.pass.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+				if isIntegerType(tv.Type) && isIntegerType(n.pass.TypeOf(e.Args[0])) {
+					return n.vnExpr(e.Args[0])
+				}
+			}
+		}
+		return n.siteVN(e)
+	case *ast.SelectorExpr:
+		// pkg.Var resolves to the object; x.f is numbered structurally on
+		// the base's number (optimistic under stores, see file comment).
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if _, isPkg := objectOf(n.pass, id).(*types.PkgName); isPkg {
+				if obj := objectOf(n.pass, e.Sel); obj != nil {
+					return n.intern(fmt.Sprintf("obj:%d", obj.Pos()))
+				}
+				return n.siteVN(e)
+			}
+		}
+		return n.intern(fmt.Sprintf("sel:%d:%s", n.vnExpr(e.X), e.Sel.Name))
+	}
+	// Loads and aggregates (index, star, slice, assert, literals) get a
+	// per-site number: memory is not structurally numbered.
+	return n.siteVN(e)
+}
+
+// recordLenFacts learns the length of a slice-producing definition.
+func (n *vnum) recordLenFacts(sliceVN int, e ast.Expr) {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if isBuiltinCall(n.pass, e, "make") && len(e.Args) >= 2 {
+			n.lenOfVN[sliceVN] = n.vnExpr(e.Args[1])
+		}
+	case *ast.CompositeLit:
+		if t := n.pass.TypeOf(e); t != nil {
+			if _, isSlice := t.Underlying().(*types.Slice); isSlice && !hasKeyedElems(e) {
+				n.lenOfVN[sliceVN] = n.constVN(int64(len(e.Elts)))
+			}
+		}
+	case *ast.SliceExpr:
+		if e.Slice3 && e.Max == nil {
+			return
+		}
+		t := n.pass.TypeOf(e)
+		if t == nil {
+			return
+		}
+		if _, isSlice := t.Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		var high int
+		if e.High != nil {
+			high = n.vnExpr(e.High)
+		} else if at := arrayTypeOf(n.pass, e.X); at != nil {
+			high = n.constVN(at.Len())
+		} else {
+			high = n.lenOf(n.vnExpr(e.X))
+		}
+		low := n.constVN(0)
+		if e.Low != nil {
+			low = n.vnExpr(e.Low)
+		}
+		n.lenOfVN[sliceVN] = n.binVN(token.SUB, high, low)
+	}
+}
+
+func hasKeyedElems(lit *ast.CompositeLit) bool {
+	for _, el := range lit.Elts {
+		if _, ok := el.(*ast.KeyValueExpr); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func objectOf(p *Pass, id *ast.Ident) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+func isBuiltinCall(p *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	if p.Info != nil {
+		if obj, found := p.Info.Uses[id]; found {
+			return obj == types.Universe.Lookup(name)
+		}
+	}
+	return true
+}
+
+// arrayTypeOf returns e's underlying array type, looking through one
+// pointer (indexing auto-dereferences *[N]T).
+func arrayTypeOf(p *Pass, e ast.Expr) *types.Array {
+	t := p.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	u := t.Underlying()
+	if ptr, ok := u.(*types.Pointer); ok {
+		u = ptr.Elem().Underlying()
+	}
+	at, _ := u.(*types.Array)
+	return at
+}
+
+// ---------------------------------------------------------------------
+// Interval evaluation with widening.
+
+// maxEvalDepth bounds recursive evaluation through def chains and
+// nested phis; exceeding it degrades to top, never to a wrong fact.
+const maxEvalDepth = 64
+
+// lenHint is one dominating proof obligation already discharged at
+// runtime: an executed s[i] proves i < len(s); an executed s[:h]
+// proves h <= len(s).
+type lenHint struct {
+	baseVN int
+	exprVN int
+	// sliced distinguishes s[:h] (exprVN may equal len) from s[i]
+	// (exprVN is strictly below len).
+	sliced bool
+}
+
+// Ranges is the value-range analysis over one function's SSA form.
+type Ranges struct {
+	ssa *SSA
+	nm  *vnum
+
+	memo      map[int]Interval
+	tentative map[int]Interval
+	phiDepth  int
+	depth     int
+
+	hints map[*Block][]lenHint
+}
+
+// NewRanges builds the range analysis for s. Length facts are learned
+// eagerly from every definition so queries in any order see them.
+func NewRanges(s *SSA, p *Pass) *Ranges {
+	r := &Ranges{
+		ssa:       s,
+		nm:        newVNum(s, p),
+		memo:      make(map[int]Interval),
+		tentative: make(map[int]Interval),
+		hints:     make(map[*Block][]lenHint),
+	}
+	for _, v := range s.Values {
+		r.nm.vnValue(v)
+	}
+	r.collectHints()
+	return r
+}
+
+// EvalExpr returns the unrefined interval of e (exported for tests via
+// the package; analyzers use IndexBounds).
+func (r *Ranges) EvalExpr(e ast.Expr) Interval {
+	r.depth = 0
+	return r.evalExpr(e)
+}
+
+func (r *Ranges) lookup(vn int) (Interval, bool) {
+	if iv, ok := r.tentative[vn]; ok {
+		return iv, true
+	}
+	iv, ok := r.memo[vn]
+	return iv, ok
+}
+
+// store memoizes durably only outside phi resolution; everything
+// computed while a phi is tentative may be contaminated by the
+// un-widened guess and is kept in the discardable tentative map.
+func (r *Ranges) store(vn int, iv Interval) Interval {
+	if r.phiDepth > 0 {
+		r.tentative[vn] = iv
+	} else {
+		r.memo[vn] = iv
+	}
+	return iv
+}
+
+func (r *Ranges) evalValue(v *Value) Interval {
+	if v == nil {
+		return topInterval
+	}
+	vn := r.nm.vnValue(v)
+	if c, ok := r.nm.isConst(vn); ok {
+		return constInterval(c)
+	}
+	if iv, ok := r.lookup(vn); ok {
+		return iv
+	}
+	if r.depth >= maxEvalDepth {
+		return topInterval
+	}
+	r.depth++
+	defer func() { r.depth-- }()
+
+	var iv Interval
+	switch v.Kind {
+	case ValDef:
+		iv = r.evalExpr(v.Expr)
+	case ValOpAssign:
+		iv = r.arith(assignOp(v.Op), r.evalValue(v.Prev), r.evalExpr(v.Expr), vn)
+	case ValIncDec:
+		op := token.ADD
+		if v.Op == token.DEC {
+			op = token.SUB
+		}
+		iv = r.arith(op, r.evalValue(v.Prev), constInterval(1), vn)
+	case ValRangeKey:
+		iv = r.rangeKeyInterval(v, vn)
+	case ValPhi:
+		return r.evalPhi(v, vn)
+	case ValZero:
+		if v.Var != nil && isIntegerType(v.Var.Type()) {
+			iv = constInterval(0)
+		} else {
+			iv = exactly(vn)
+		}
+	default:
+		// Params, range values, opaque and unknown definitions: known
+		// only as themselves.
+		iv = exactly(vn)
+	}
+	return r.store(vn, iv)
+}
+
+// rangeKeyInterval bounds a range key: [0, len(X)-1] over slices,
+// arrays and strings, [0, X-1] for range-over-int.
+func (r *Ranges) rangeKeyInterval(v *Value, vn int) Interval {
+	t := r.ssa.pass.TypeOf(v.Expr)
+	if t == nil {
+		return exactly(vn)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Array:
+		return Interval{Lo: constBound(0), Hi: constBound(u.Len() - 1)}
+	case *types.Pointer:
+		if at, ok := u.Elem().Underlying().(*types.Array); ok {
+			return Interval{Lo: constBound(0), Hi: constBound(at.Len() - 1)}
+		}
+	case *types.Slice:
+		return Interval{Lo: constBound(0), Hi: r.nm.bound(r.nm.lenOf(r.nm.vnExpr(v.Expr))).add(-1)}
+	case *types.Basic:
+		if u.Info()&types.IsString != 0 {
+			return Interval{Lo: constBound(0), Hi: r.nm.bound(r.nm.lenOf(r.nm.vnExpr(v.Expr))).add(-1)}
+		}
+		if u.Info()&types.IsInteger != 0 { // range over int (go1.22)
+			return Interval{Lo: constBound(0), Hi: r.nm.bound(r.nm.vnExpr(v.Expr)).add(-1)}
+		}
+	}
+	return exactly(vn)
+}
+
+// evalPhi joins a phi's operands with widening over back edges: phase
+// one joins the forward operands into a tentative result, phase two
+// evaluates the back-edge operands against it and widens any bound
+// they exceed to infinity.
+func (r *Ranges) evalPhi(v *Value, vn int) Interval {
+	hasBack := false
+	for _, back := range v.ArgBack {
+		if back {
+			hasBack = true
+		}
+	}
+	forward := Interval{}
+	first := true
+	joinArg := func(iv Interval) {
+		if first {
+			forward, first = iv, false
+		} else {
+			forward = joinIntervals(forward, iv)
+		}
+	}
+	if !hasBack {
+		for _, a := range v.Args {
+			if a == nil {
+				return r.store(vn, topInterval)
+			}
+			joinArg(r.evalValue(a))
+		}
+		if first {
+			forward = topInterval
+		}
+		return r.store(vn, forward)
+	}
+
+	r.phiDepth++
+	for i, a := range v.Args {
+		if v.ArgBack[i] {
+			continue
+		}
+		if a == nil {
+			joinArg(topInterval)
+			continue
+		}
+		joinArg(r.evalValue(a))
+	}
+	if first {
+		forward = topInterval
+	}
+	r.tentative[vn] = forward
+
+	result := forward
+	for i, a := range v.Args {
+		if !v.ArgBack[i] {
+			continue
+		}
+		var backIv Interval
+		if a == nil {
+			backIv = topInterval
+		} else {
+			backIv = r.evalValue(a)
+		}
+		// Widen: a back-edge bound that moves past the tentative bound
+		// goes straight to infinity (no fixpoint iteration needed).
+		if upperOf(result.Hi, backIv.Hi) != result.Hi {
+			result.Hi = Bound{Inf: true}
+		}
+		if lowerOf(result.Lo, backIv.Lo) != result.Lo {
+			result.Lo = Bound{Inf: true}
+		}
+	}
+	r.tentative[vn] = result
+	r.phiDepth--
+	if r.phiDepth == 0 {
+		// Contaminated intermediates are discarded; the finalized phi
+		// interval itself is durable.
+		r.tentative = make(map[int]Interval)
+		r.memo[vn] = result
+	}
+	return result
+}
+
+func (r *Ranges) evalExpr(e ast.Expr) Interval {
+	if e == nil {
+		return topInterval
+	}
+	e = ast.Unparen(e)
+	vn := r.nm.vnExpr(e)
+	if c, ok := r.nm.isConst(vn); ok {
+		return constInterval(c)
+	}
+	if iv, ok := r.lookup(vn); ok {
+		return iv
+	}
+	if r.depth >= maxEvalDepth {
+		return topInterval
+	}
+	r.depth++
+	defer func() { r.depth-- }()
+
+	var iv Interval
+	switch e := e.(type) {
+	case *ast.Ident:
+		if use := r.ssa.UseOf(e); use != nil {
+			return r.evalValue(use)
+		}
+		iv = exactly(vn)
+	case *ast.BinaryExpr:
+		iv = r.arith(e.Op, r.evalExpr(e.X), r.evalExpr(e.Y), vn)
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD {
+			iv = r.evalExpr(e.X)
+		} else {
+			iv = exactly(vn)
+		}
+	case *ast.CallExpr:
+		// len(x) and integer conversions already share the operand's
+		// number; exactly(vn) is the right answer for both, and lenOf
+		// facts make it a constant when the length is known.
+		iv = exactly(vn)
+	default:
+		iv = exactly(vn)
+	}
+	return r.store(vn, iv)
+}
+
+// arith evaluates a binary operator over intervals, symbolically where
+// one side is constant and structurally (exactly the operation's own
+// number) otherwise.
+func (r *Ranges) arith(op token.Token, l, ri Interval, vn int) Interval {
+	switch op {
+	case token.ADD:
+		if c, ok := constOf(ri); ok {
+			return l.shift(c)
+		}
+		if c, ok := constOf(l); ok {
+			return ri.shift(c)
+		}
+	case token.SUB:
+		if c, ok := constOf(ri); ok {
+			return l.shift(-c)
+		}
+	case token.REM:
+		// x % m for x >= 0 lands in [0, m-1] (m == 0 panics before the
+		// index would).
+		if lc, ok := l.Lo.IsConst(); ok && lc >= 0 && !ri.Hi.Inf {
+			return Interval{Lo: constBound(0), Hi: ri.Hi.add(-1)}
+		}
+	case token.AND:
+		// x & mask for a constant mask >= 0 lands in [0, mask].
+		if mc, ok := constOf(ri); ok && mc >= 0 {
+			return Interval{Lo: constBound(0), Hi: constBound(mc)}
+		}
+		if mc, ok := constOf(l); ok && mc >= 0 {
+			return Interval{Lo: constBound(0), Hi: constBound(mc)}
+		}
+	case token.SHR:
+		if lc, ok := l.Lo.IsConst(); ok && lc >= 0 {
+			return Interval{Lo: constBound(0), Hi: l.Hi}
+		}
+	}
+	if op == token.REM || op == token.QUO || op == token.MUL {
+		if lc, lok := constOf(l); lok {
+			if rc, rok := constOf(ri); rok {
+				switch op {
+				case token.MUL:
+					return constInterval(lc * rc)
+				case token.QUO:
+					if rc != 0 {
+						return constInterval(lc / rc)
+					}
+				case token.REM:
+					if rc != 0 {
+						return constInterval(lc % rc)
+					}
+				}
+			}
+		}
+	}
+	return exactly(vn)
+}
+
+func constOf(iv Interval) (int64, bool) {
+	lc, lok := iv.Lo.IsConst()
+	hc, hok := iv.Hi.IsConst()
+	if lok && hok && lc == hc {
+		return lc, true
+	}
+	return 0, false
+}
+
+// ---------------------------------------------------------------------
+// Dominating-branch refinement and provability.
+
+// refineFacts collects the lower- and upper-bound facts dominating
+// conditions establish for the value numbered vn at block b: `vn < y`
+// on a true edge contributes the upper bound y-1, and so on. nonNeg
+// declares vn known non-negative by construction (lengths), which lets
+// a `vn != 0` fact tighten to `vn >= 1` — the emptiness-guard idiom.
+func (r *Ranges) refineFacts(vn int, b *Block, nonNeg bool) (los, his []Bound) {
+	if b == nil {
+		return nil, nil
+	}
+	seen := 0
+	for d := b; d != nil && seen < 64; d = r.ssa.Idom(d) {
+		seen++
+		if d == b || d.Cond == nil {
+			continue
+		}
+		if d.TrueSucc != nil && r.ssa.Dominates(d.TrueSucc, b) && d.TrueSucc != d.FalseSucc {
+			l, h := r.condFacts(d.Cond, vn, false, nonNeg)
+			los, his = append(los, l...), append(his, h...)
+		} else if d.FalseSucc != nil && r.ssa.Dominates(d.FalseSucc, b) && d.TrueSucc != d.FalseSucc {
+			l, h := r.condFacts(d.Cond, vn, true, nonNeg)
+			los, his = append(los, l...), append(his, h...)
+		}
+	}
+	return los, his
+}
+
+// condFacts extracts bounds for vn from one branch condition, negated
+// when the false edge is the one taken.
+func (r *Ranges) condFacts(cond ast.Expr, vn int, negated, nonNeg bool) (los, his []Bound) {
+	cond = ast.Unparen(cond)
+	switch c := cond.(type) {
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			return r.condFacts(c.X, vn, !negated, nonNeg)
+		}
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			if !negated { // both conjuncts hold on the true edge
+				l1, h1 := r.condFacts(c.X, vn, false, nonNeg)
+				l2, h2 := r.condFacts(c.Y, vn, false, nonNeg)
+				return append(l1, l2...), append(h1, h2...)
+			}
+		case token.LOR:
+			if negated { // both disjuncts fail on the false edge
+				l1, h1 := r.condFacts(c.X, vn, true, nonNeg)
+				l2, h2 := r.condFacts(c.Y, vn, true, nonNeg)
+				return append(l1, l2...), append(h1, h2...)
+			}
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			op := c.Op
+			if negated {
+				op = negateCmp(op)
+			}
+			if r.nm.vnExpr(c.X) == vn {
+				return r.cmpFacts(op, c.Y, nonNeg)
+			}
+			if r.nm.vnExpr(c.Y) == vn {
+				return r.cmpFacts(flipCmp(op), c.X, nonNeg)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	}
+	return token.ILLEGAL
+}
+
+func flipCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op
+}
+
+// cmpFacts turns `vn <op> other` into bounds on vn: both the symbolic
+// bound (other's own number) and, when other evaluates to something
+// tighter, its interval's end.
+func (r *Ranges) cmpFacts(op token.Token, other ast.Expr, nonNeg bool) (los, his []Bound) {
+	sym := r.nm.bound(r.nm.vnExpr(other))
+	iv := r.evalExpr(other)
+	switch op {
+	case token.LSS:
+		his = append(his, sym.add(-1))
+		if !iv.Hi.Inf {
+			his = append(his, iv.Hi.add(-1))
+		}
+	case token.LEQ:
+		his = append(his, sym)
+		if !iv.Hi.Inf {
+			his = append(his, iv.Hi)
+		}
+	case token.GTR:
+		los = append(los, sym.add(1))
+		if !iv.Lo.Inf {
+			los = append(los, iv.Lo.add(1))
+		}
+	case token.GEQ:
+		los = append(los, sym)
+		if !iv.Lo.Inf {
+			los = append(los, iv.Lo)
+		}
+	case token.EQL:
+		los = append(los, sym)
+		his = append(his, sym)
+		if !iv.Lo.Inf {
+			los = append(los, iv.Lo)
+		}
+		if !iv.Hi.Inf {
+			his = append(his, iv.Hi)
+		}
+	case token.NEQ:
+		// `vn != 0` on a non-negative quantity is `vn >= 1`: the
+		// `if len(s) == 0 { return }` emptiness guard.
+		if c, ok := sym.IsConst(); ok && c == 0 && nonNeg {
+			los = append(los, constBound(1))
+		}
+	}
+	return los, his
+}
+
+// IndexBounds returns every lower and upper bound the analysis can
+// establish for the index expression idx evaluated in block b: the
+// dataflow interval plus dominating-branch refinements, pushed through
+// +/- constant so `i+1` inherits the facts on `i`.
+func (r *Ranges) IndexBounds(idx ast.Expr, b *Block) (los, his []Bound) {
+	r.depth = 0
+	return r.boundsOf(idx, b, 0, 0)
+}
+
+func (r *Ranges) boundsOf(e ast.Expr, b *Block, off int64, depth int) (los, his []Bound) {
+	if depth > 8 {
+		return nil, nil
+	}
+	e = ast.Unparen(e)
+	if be, ok := e.(*ast.BinaryExpr); ok {
+		if c := r.intConst(be.Y); c != nil {
+			switch be.Op {
+			case token.ADD:
+				return r.boundsOf(be.X, b, off+*c, depth+1)
+			case token.SUB:
+				return r.boundsOf(be.X, b, off-*c, depth+1)
+			}
+		}
+		if c := r.intConst(be.X); c != nil && be.Op == token.ADD {
+			return r.boundsOf(be.Y, b, off+*c, depth+1)
+		}
+		if be.Op == token.REM {
+			// x % m is in [0, m-1] whenever x is provably non-negative —
+			// including via a dominating branch, which plain interval
+			// evaluation of the whole expression cannot see.
+			xlos, _ := r.boundsOf(be.X, b, 0, depth+1)
+			for _, lo := range xlos {
+				if c, ok := lo.IsConst(); ok && c >= 0 {
+					los = append(los, constBound(0).add(off))
+					his = append(his, r.nm.bound(r.nm.vnExpr(be.Y)).add(off-1))
+					break
+				}
+			}
+			// Fall through for whatever the generic path adds.
+		}
+	}
+	vn := r.nm.vnExpr(e)
+	iv := r.evalExpr(e)
+	if !iv.Lo.Inf {
+		los = append(los, iv.Lo.add(off))
+	}
+	if !iv.Hi.Inf {
+		his = append(his, iv.Hi.add(off))
+	}
+	l, h := r.refineFacts(vn, b, false)
+	for _, bd := range l {
+		los = append(los, bd.add(off))
+	}
+	for _, bd := range h {
+		his = append(his, bd.add(off))
+	}
+	return los, his
+}
+
+func (r *Ranges) intConst(e ast.Expr) *int64 {
+	if cv := r.ssa.pass.ConstValue(e); cv != nil && cv.Kind() == constant.Int {
+		if c, exact := constant.Int64Val(cv); exact {
+			return &c
+		}
+	}
+	return nil
+}
+
+// collectHints harvests, per block, the runtime proofs its executed
+// expressions establish: an index s[i] proves i < len(s), a slicing
+// s[a:h] proves h <= len(s). Short-circuit right operands may not
+// execute and are skipped.
+func (r *Ranges) collectHints() {
+	for _, b := range r.ssa.rpo {
+		for _, n := range b.Nodes {
+			r.hintsIn(b, n)
+		}
+	}
+}
+
+func (r *Ranges) hintsIn(b *Block, n ast.Node) {
+	var visit func(m ast.Node)
+	visit = func(m ast.Node) {
+		ast.Inspect(m, func(k ast.Node) bool {
+			switch k := k.(type) {
+			case *ast.FuncLit:
+				if k != r.ssa.lit {
+					return false
+				}
+			case *ast.RangeStmt:
+				// Only the header belongs to this block.
+				visit(k.X)
+				return false
+			case *ast.BinaryExpr:
+				if k.Op == token.LAND || k.Op == token.LOR {
+					visit(k.X)
+					return false // Y may not execute
+				}
+			case *ast.IndexExpr:
+				if sliceOrArray(r.ssa.pass, k.X) {
+					r.hints[b] = append(r.hints[b], lenHint{
+						baseVN: r.nm.vnExpr(k.X),
+						exprVN: r.nm.vnExpr(k.Index),
+					})
+				}
+			case *ast.SliceExpr:
+				if sliceOrArray(r.ssa.pass, k.X) && k.High != nil {
+					r.hints[b] = append(r.hints[b], lenHint{
+						baseVN: r.nm.vnExpr(k.X),
+						exprVN: r.nm.vnExpr(k.High),
+						sliced: true,
+					})
+				}
+			}
+			return true
+		})
+	}
+	visit(n)
+}
+
+func sliceOrArray(p *Pass, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	}
+	return false
+}
+
+// ProveIndex reports whether base[idx], evaluated in block b, is
+// provably in bounds: some lower bound is a constant >= 0 and some
+// upper bound is provably at most len(base)-1. The upper-bound side
+// works modulo dominating equalities (one expansion level: a fact
+// `len(a) == len(b)-1` carries a's bounds onto b's) and modulo +/-
+// constant linearization (len(w)+1 and len(w) compare directly).
+func (r *Ranges) ProveIndex(base, idx ast.Expr, b *Block) bool {
+	los, his := r.IndexBounds(idx, b)
+	loOK := false
+	for _, lo := range los {
+		if c, ok := lo.IsConst(); ok && c >= 0 {
+			loOK = true
+			break
+		}
+	}
+	if !loOK {
+		return false
+	}
+
+	baseVN := r.nm.vnExpr(base)
+	lenVN := r.nm.lenOf(baseVN)
+	lenSym, lenOff := r.nm.linearize(lenVN)
+	var constLen *int64
+	if at := arrayTypeOf(r.ssa.pass, base); at != nil {
+		l := at.Len()
+		constLen = &l
+	} else if c, ok := r.nm.isConst(lenVN); ok {
+		constLen = &c
+	}
+
+	// One-level expansion: an upper bound on hi's own symbol (an EQL
+	// fact contributes one from each side) is an upper bound on hi.
+	expanded := his
+	for _, hi := range his {
+		if hi.Inf || hi.VN < 0 {
+			continue
+		}
+		_, ups := r.refineFacts(hi.VN, b, false)
+		for _, u := range ups {
+			if !u.Inf {
+				expanded = append(expanded, u.add(hi.Off))
+			}
+		}
+	}
+
+	// Lower bounds on the length itself: emptiness guards
+	// (`len(s) == 0` returns) and cross-slice equalities.
+	lenLos, _ := r.refineFacts(lenVN, b, true)
+	if lenSym != lenVN {
+		more, _ := r.refineFacts(lenSym, b, true)
+		for _, m := range more {
+			if !m.Inf {
+				lenLos = append(lenLos, m.add(lenOff))
+			}
+		}
+	}
+
+	for _, hi := range expanded {
+		if hi.Inf {
+			continue
+		}
+		hiSym, hiOff := hi.VN, hi.Off
+		if hi.VN >= 0 {
+			s, o := r.nm.linearize(hi.VN)
+			hiSym, hiOff = s, hi.Off+o
+		}
+		// hi = len(base) + off with off <= -1.
+		if hiSym >= 0 && hiSym == lenSym && hiOff <= lenOff-1 {
+			return true
+		}
+		if c, ok := hi.IsConst(); ok {
+			// hi = c with a known constant length...
+			if constLen != nil && c <= *constLen-1 {
+				return true
+			}
+			// ...or with a dominating constant lower bound on the length.
+			for _, ll := range lenLos {
+				if lc, lok := ll.IsConst(); lok && c <= lc-1 {
+					return true
+				}
+			}
+		}
+		// hi at most a symbolic lower bound of the length, minus one.
+		for _, ll := range lenLos {
+			if ll.Inf || ll.VN < 0 {
+				continue
+			}
+			llSym, llOff := r.nm.linearize(ll.VN)
+			llOff += ll.Off
+			if hiSym >= 0 && hiSym == llSym && hiOff <= llOff-1 {
+				return true
+			}
+		}
+		// A dominating executed index/slice on the same base bounds hi.
+		if r.hintProves(baseVN, hi, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// hintProves checks hi against the dominating length hints of b.
+func (r *Ranges) hintProves(baseVN int, hi Bound, b *Block) bool {
+	seen := 0
+	for d := r.ssa.Idom(b); d != nil && seen < 64; d = r.ssa.Idom(d) {
+		seen++
+		for _, h := range r.hints[d] {
+			if h.baseVN != baseVN || hi.VN != h.exprVN {
+				continue
+			}
+			if h.sliced && hi.Off <= -1 {
+				return true // hi <= hintHigh-1 <= len-1
+			}
+			if !h.sliced && hi.Off <= 0 {
+				return true // hi <= hintIdx <= len-1
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,357 @@
+package lint
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// rangesFor builds SSA + range analysis for the function named fn.
+func rangesFor(t *testing.T, src, fn string) (*Ranges, *SSA, *ast.FuncDecl) {
+	t.Helper()
+	p, s, fd := buildSSAFor(t, src, fn)
+	_ = p
+	return NewRanges(s, s.pass), s, fd
+}
+
+// firstIndexExpr returns the n-th (0-based) IndexExpr in source order.
+func firstIndexExpr(t *testing.T, root ast.Node, n int) *ast.IndexExpr {
+	t.Helper()
+	var found *ast.IndexExpr
+	count := 0
+	ast.Inspect(root, func(k ast.Node) bool {
+		if ix, ok := k.(*ast.IndexExpr); ok {
+			if count == n {
+				found = ix
+			}
+			count++
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("IndexExpr #%d not found (%d total)", n, count)
+	}
+	return found
+}
+
+func proveFirstIndex(t *testing.T, src string) bool {
+	t.Helper()
+	r, s, fd := rangesFor(t, src, "f")
+	ix := firstIndexExpr(t, fd, 0)
+	b := s.BlockOf(ix.Index)
+	if b == nil {
+		// Index exprs whose block was not recorded (e.g. inside a range
+		// header) fall back to the block of the whole expression.
+		b = s.BlockOf(ix.X)
+	}
+	if b == nil {
+		t.Fatal("no block recorded for the index expression")
+	}
+	return r.ProveIndex(ix.X, ix.Index, b)
+}
+
+func TestRangeLenBoundedLoopProves(t *testing.T) {
+	if !proveFirstIndex(t, `package p
+func f(s []int) int {
+	t := 0
+	for i := 0; i < len(s); i++ {
+		t += s[i]
+	}
+	return t
+}`) {
+		t.Error("i < len(s) loop: s[i] must be provable")
+	}
+}
+
+func TestRangeKeyProves(t *testing.T) {
+	if !proveFirstIndex(t, `package p
+func f(s []int) int {
+	t := 0
+	for i := range s {
+		t += s[i]
+	}
+	return t
+}`) {
+		t.Error("range key i: s[i] must be provable")
+	}
+}
+
+func TestRangeUnrelatedBoundDoesNotProve(t *testing.T) {
+	if proveFirstIndex(t, `package p
+func f(s []int, n int) int {
+	t := 0
+	for i := 0; i < n; i++ {
+		t += s[i]
+	}
+	return t
+}`) {
+		t.Error("i < n with n unrelated to len(s): s[i] must NOT be provable")
+	}
+}
+
+func TestRangeWideningOnBackEdge(t *testing.T) {
+	// Without the len bound the widened interval must reach infinity:
+	// the index stays unprovable even though i starts at 0.
+	if proveFirstIndex(t, `package p
+func f(s []int) int {
+	t := 0
+	for i := 0; ; i++ {
+		if i >= 100 {
+			break
+		}
+		if len(s) == 0 {
+			break
+		}
+		t += s[i%1]
+		_ = t
+	}
+	return t
+}`) {
+		// s[i%1] is actually [0,0] — use a plain unbounded index below.
+		t.Log("modulo path proved; widening exercised separately")
+	}
+	if proveFirstIndex(t, `package p
+func f(s []int) int {
+	t := 0
+	for i := 0; ; i++ {
+		t += s[i]
+	}
+}`) {
+		t.Error("unbounded i: s[i] must NOT be provable (widening to +inf)")
+	}
+}
+
+func TestRangeNamedLenAliasProves(t *testing.T) {
+	// n := len(s); i < n must unify with len(s) via value numbering.
+	if !proveFirstIndex(t, `package p
+func f(s []int) int {
+	t := 0
+	n := len(s)
+	for i := 0; i < n; i++ {
+		t += s[i]
+	}
+	return t
+}`) {
+		t.Error("n := len(s); i < n: s[i] must be provable")
+	}
+}
+
+func TestRangeMakeLenProves(t *testing.T) {
+	// out := make([]T, n) gives len(out) = n, so j < n proves out[j].
+	if !proveFirstIndex(t, `package p
+func f(n int) []int {
+	out := make([]int, n)
+	for j := 0; j < n; j++ {
+		out[j] = j
+	}
+	return out
+}`) {
+		t.Error("make([]int, n) with j < n: out[j] must be provable")
+	}
+}
+
+func TestRangeResliceHintProves(t *testing.T) {
+	// out = out[:len(x)] pins len(out) to len(x); range over x proves
+	// out[i]. This is the exact shape the kernels use as a BCE hint.
+	if !proveFirstIndex(t, `package p
+func f(out, x []float64) {
+	out = out[:len(x)]
+	for i := range x {
+		out[i] = x[i] * 2
+	}
+}`) {
+		t.Error("out = out[:len(x)]; range x: out[i] must be provable")
+	}
+}
+
+func TestRangeSubsliceLenProves(t *testing.T) {
+	// leaf := probs[a : a+k] has len k, so c < k proves leaf[c].
+	if !proveFirstIndex(t, `package p
+func f(probs []float64, a, k int) float64 {
+	leaf := probs[a : a+k]
+	t := 0.0
+	for c := 0; c < k; c++ {
+		t += leaf[c]
+	}
+	return t
+}`) {
+		t.Error("leaf := probs[a:a+k]; c < k: leaf[c] must be provable")
+	}
+}
+
+func TestRangeModuloGuardedProves(t *testing.T) {
+	// start % len(ring) is in [0, len-1] once start is known >= 0 via
+	// the dominating guard.
+	if !proveFirstIndex(t, `package p
+func f(ring []int, start int) int {
+	if start < 0 || len(ring) == 0 {
+		return -1
+	}
+	return ring[start%len(ring)]
+}`) {
+		t.Error("guarded start%len(ring): must be provable")
+	}
+}
+
+func TestRangeModuloUnguardedDoesNotProve(t *testing.T) {
+	if proveFirstIndex(t, `package p
+func f(ring []int, start int) int {
+	if len(ring) == 0 {
+		return -1
+	}
+	return ring[start%len(ring)]
+}`) {
+		t.Error("unguarded start%len(ring) (start may be negative): must NOT prove")
+	}
+}
+
+func TestRangeDominatingIndexHint(t *testing.T) {
+	// An executed s[j] in a dominator proves j <= len(s)-1, so the loop
+	// bound i <= j makes s[i] provable.
+	r, s, fd := rangesFor(t, `package p
+func f(s []int, j int) int {
+	if j < 0 {
+		return 0
+	}
+	t := s[j]
+	for i := 0; i <= j; i++ {
+		t += s[i]
+	}
+	return t
+}`, "f")
+	ix := firstIndexExpr(t, fd, 1) // s[i] in the loop body
+	b := s.BlockOf(ix.Index)
+	if b == nil {
+		t.Fatal("no block for s[i]")
+	}
+	if !r.ProveIndex(ix.X, ix.Index, b) {
+		t.Error("i <= j with dominating s[j]: s[i] must be provable")
+	}
+}
+
+func TestRangeArrayConstLen(t *testing.T) {
+	if !proveFirstIndex(t, `package p
+func f(a [8]int) int {
+	t := 0
+	for i := 0; i < 8; i++ {
+		t += a[i]
+	}
+	return t
+}`) {
+		t.Error("i < 8 over [8]int: a[i] must be provable")
+	}
+}
+
+func TestRangeEvalExprWidening(t *testing.T) {
+	r, _, fd := rangesFor(t, `package p
+func f(n int) int {
+	t := 0
+	for i := 0; i < n; i++ {
+		t += i
+	}
+	return t
+}`, "f")
+	// The loop phi for i widens to [0, +inf): lower bound survives the
+	// back edge (increment only grows), upper bound does not.
+	iUse := identN(t, fd, "i", 1)
+	iv := r.EvalExpr(iUse)
+	if c, ok := iv.Lo.IsConst(); !ok || c != 0 {
+		t.Errorf("widened i: Lo = %v, want 0", iv.Lo)
+	}
+	if !iv.Hi.Inf {
+		t.Errorf("widened i: Hi = %v, want +inf", iv.Hi)
+	}
+}
+
+func TestRangeIndexBoundsRefinement(t *testing.T) {
+	r, s, fd := rangesFor(t, `package p
+func f(s []int, i int) int {
+	if i >= 0 && i < len(s) {
+		return s[i]
+	}
+	return 0
+}`, "f")
+	ix := firstIndexExpr(t, fd, 0)
+	b := s.BlockOf(ix.Index)
+	if b == nil {
+		t.Fatal("no block for s[i]")
+	}
+	los, his := r.IndexBounds(ix.Index, b)
+	loOK := false
+	for _, lo := range los {
+		if c, ok := lo.IsConst(); ok && c >= 0 {
+			loOK = true
+		}
+	}
+	if !loOK {
+		t.Errorf("i >= 0 refinement missing: lower bounds = %v", los)
+	}
+	if len(his) == 0 {
+		t.Errorf("i < len(s) refinement missing: no upper bounds")
+	}
+	if !r.ProveIndex(ix.X, ix.Index, b) {
+		t.Error("guarded s[i] must be provable")
+	}
+}
+
+func TestRangeEmptinessGuardProvesConstIndex(t *testing.T) {
+	// `if len(s) == 0 { return }` puts len(s) >= 1 on the fallthrough
+	// path, which proves s[0] — the kernel root-node idiom.
+	if !proveFirstIndex(t, `package p
+func f(s []int) int {
+	if len(s) == 0 {
+		return -1
+	}
+	return s[0]
+}`) {
+		t.Error("s[0] after the len(s)==0 guard: must be provable")
+	}
+}
+
+func TestRangeNoGuardConstIndexDoesNotProve(t *testing.T) {
+	if proveFirstIndex(t, `package p
+func f(s []int) int {
+	return s[0]
+}`) {
+		t.Error("unguarded s[0]: must NOT prove")
+	}
+}
+
+func TestRangeCrossSliceEqualityProves(t *testing.T) {
+	// The validate-spec idiom: an early return pinning
+	// len(b) == len(sizes)-1 makes b[l] and sizes[l+1] provable for l
+	// ranging over b's twin.
+	r, s, fd := rangesFor(t, `package p
+func f(w []int, b []int, sizes []int) int {
+	if len(w) != len(sizes)-1 || len(b) != len(sizes)-1 {
+		return -1
+	}
+	t := 0
+	for l := range w {
+		t += b[l] + sizes[l+1]
+	}
+	return t
+}`, "f")
+	for n := 0; n < 2; n++ {
+		ix := firstIndexExpr(t, fd, n)
+		blk := s.BlockOf(ix.Index)
+		if blk == nil {
+			blk = s.BlockOf(ix.X)
+		}
+		if !r.ProveIndex(ix.X, ix.Index, blk) {
+			t.Errorf("index #%d: cross-slice equality must prove", n)
+		}
+	}
+}
+
+func TestRangeCrossSliceWithoutEqualityDoesNotProve(t *testing.T) {
+	if proveFirstIndex(t, `package p
+func f(w []int, b []int) int {
+	t := 0
+	for l := range w {
+		t += b[l]
+	}
+	return t
+}`) {
+		t.Error("b[l] with unrelated lengths: must NOT prove")
+	}
+}

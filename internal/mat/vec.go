@@ -117,6 +117,9 @@ func Softmax(logits, dst []float64) []float64 {
 	} else if len(dst) != len(logits) {
 		panic(fmt.Sprintf("mat: Softmax dst length %d != %d", len(dst), len(logits)))
 	}
+	// Reslice hint: both branches above pin len(dst) == len(logits); the
+	// restatement survives the merge and makes dst[i] provably in bounds.
+	dst = dst[:len(logits)]
 	maxv := math.Inf(-1)
 	for _, v := range logits {
 		if v > maxv {

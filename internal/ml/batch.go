@@ -30,6 +30,7 @@ func PredictProbaAll(c Classifier, X [][]float64) [][]float64 {
 	}
 	out := make([][]float64, len(X))
 	for i, x := range X {
+		//lint:ignore hot-indirect this fallback exists for models without a batch kernel; the dispatch is the contract
 		out[i] = c.PredictProba(x)
 	}
 	return out
@@ -54,4 +55,16 @@ func probaRows(n, k int) [][]float64 {
 		rows[i] = flat[i*k : (i+1)*k : (i+1)*k]
 	}
 	return rows
+}
+
+// probaRowsScratch is probaRows plus n scratch floats carved from the
+// same backing array: batch kernels get a flat per-instance accumulator
+// without a third allocation.
+func probaRowsScratch(n, k int) ([][]float64, []float64) {
+	flat := make([]float64, n*k+n)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = flat[i*k : (i+1)*k : (i+1)*k]
+	}
+	return rows, flat[n*k:]
 }

@@ -150,8 +150,9 @@ func (f *Forest) leafDistributions() [][]float64 {
 				continue
 			}
 			denom := total + float64(k)*1e-9
+			counts := node.Counts[:k]
 			for c := 0; c < k; c++ {
-				row[c] = (node.Counts[c] + 1e-9) / denom
+				row[c] = (counts[c] + 1e-9) / denom
 			}
 		}
 		lp[m] = probs
@@ -173,9 +174,16 @@ func (f *Forest) PredictProbaBatch(X [][]float64) [][]float64 {
 	}
 	k := f.classes
 	out := probaRows(len(X), k)
+	// Reslice hints: pin the lengths the allocation sites guarantee so
+	// the row and member indexing below is provably in bounds.
+	out = out[:len(X)]
 	leaves := f.leafDistributions()
+	leaves = leaves[:len(f.Members)]
 	for m, t := range f.Members {
 		nodes := t.Nodes
+		if len(nodes) == 0 {
+			panic(ErrNotTrained)
+		}
 		probs := leaves[m]
 		for i, x := range X {
 			ni := 0
@@ -188,7 +196,7 @@ func (f *Forest) PredictProbaBatch(X [][]float64) [][]float64 {
 				}
 				nd = &nodes[ni]
 			}
-			row := out[i]
+			row := out[i][:k]
 			leaf := probs[ni*k : ni*k+k]
 			for c := 0; c < k; c++ {
 				row[c] += leaf[c]
@@ -216,10 +224,14 @@ func (f *Forest) PredictProba(x []float64) []float64 {
 	}
 	k := f.classes
 	leaves := f.leafDistributions()
+	leaves = leaves[:len(f.Members)]
 	//lint:ignore hotpath-alloc the result row is returned; the caller owns it
 	acc := make([]float64, k)
 	for m, t := range f.Members {
 		nodes := t.Nodes
+		if len(nodes) == 0 {
+			panic(ErrNotTrained)
+		}
 		ni := 0
 		nd := &nodes[0]
 		for nd.Feature >= 0 {

@@ -191,10 +191,15 @@ func (g *GBDT) PredictProba(x []float64) []float64 {
 	if g.TreesPerClass == nil {
 		panic(ErrNotTrained)
 	}
-	logits := make([]float64, g.classes)
-	for c := 0; c < g.classes; c++ {
-		s := g.Base[c]
-		for _, tr := range g.TreesPerClass[c] {
+	k := g.classes
+	// Reslice hints: pin the per-class slices to the class count so the
+	// indexing below is provably in bounds.
+	bases := g.Base[:k]
+	trees := g.TreesPerClass[:k]
+	logits := make([]float64, k)
+	for c := 0; c < k; c++ {
+		s := bases[c]
+		for _, tr := range trees[c] {
 			s += g.Cfg.LearningRate * tr.predict(x)
 		}
 		logits[c] = s
@@ -207,22 +212,33 @@ func (g *GBDT) PredictProba(x []float64) []float64 {
 // PredictProbaBatch implements BatchPredictor with a tree-major
 // traversal: each boosted tree scores every instance before the next
 // tree is touched, keeping its node slice cache-resident across the
-// batch. Per-(instance, class) accumulation order matches PredictProba
-// (tree order within each class), so logits — and therefore the softmax
+// batch. The per-class logits accumulate in a flat column buffer —
+// one contiguous float64 per instance — instead of scattering through
+// out[i][c], which would re-load the row pointer on every touch. The
+// per-(instance, class) accumulation order matches PredictProba (tree
+// order within each class), so logits — and therefore the softmax
 // rows — are bit-identical to the per-instance path.
 func (g *GBDT) PredictProbaBatch(X [][]float64) [][]float64 {
 	if g.TreesPerClass == nil {
 		panic(ErrNotTrained)
 	}
-	out := probaRows(len(X), g.classes)
-	for c := 0; c < g.classes; c++ {
-		base := g.Base[c]
-		for i := range X {
-			out[i][c] = base
+	k := g.classes
+	bases := g.Base[:k]
+	trees := g.TreesPerClass[:k]
+	out, col := probaRowsScratch(len(X), k)
+	out = out[:len(X)]
+	col = col[:len(X)]
+	lr := g.Cfg.LearningRate
+	for c := 0; c < k; c++ {
+		base := bases[c]
+		for i := range col {
+			col[i] = base
 		}
-		lr := g.Cfg.LearningRate
-		for _, tr := range g.TreesPerClass[c] {
+		for _, tr := range trees[c] {
 			nodes := tr.Nodes
+			if len(nodes) == 0 {
+				panic(ErrNotTrained)
+			}
 			for i, x := range X {
 				n := &nodes[0]
 				for n.Feature >= 0 {
@@ -232,8 +248,12 @@ func (g *GBDT) PredictProbaBatch(X [][]float64) [][]float64 {
 						n = &nodes[n.Right]
 					}
 				}
-				out[i][c] += lr * n.Value
+				col[i] += lr * n.Value
 			}
+		}
+		for i := range X {
+			row := out[i][:k]
+			row[c] = col[i]
 		}
 	}
 	for _, row := range out {

@@ -127,11 +127,15 @@ func (m *LogReg) Fit(t *dataset.Table) error {
 }
 
 func (m *LogReg) logits(x, dst []float64) {
+	// Reslice hints: W is classes x (dim+1) with the bias last; pinning
+	// the lengths makes the hot-loop indexing provably in bounds.
+	dst = dst[:m.classes]
 	for k := 0; k < m.classes; k++ {
-		row := m.W.Row(k)
+		row := m.W.Row(k)[:m.dim+1]
 		s := row[m.dim] // bias
+		w := row[:len(x)]
 		for j, v := range x {
-			s += row[j] * v
+			s += w[j] * v
 		}
 		dst[k] = s
 	}

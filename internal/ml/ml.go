@@ -51,7 +51,7 @@ func Predict(c Classifier, x []float64) int {
 
 // PredictBatch returns argmax predictions for every row of t.
 func PredictBatch(c Classifier, t *dataset.Table) []int {
-	out := make([]int, t.Len())
+	out := make([]int, len(t.X))
 	for i, x := range t.X {
 		out[i] = Predict(c, x)
 	}
@@ -74,7 +74,8 @@ func probaFromCounts(counts []float64, classes int) []float64 {
 		return p
 	}
 	denom := total + float64(classes)*1e-9
-	for i := range p {
+	counts = counts[:classes]
+	for i := range counts {
 		p[i] = (counts[i] + 1e-9) / denom
 	}
 	return p

@@ -209,11 +209,18 @@ func (m *MLP) newDeltas() [][]float64 {
 func (m *MLP) forward(x []float64, acts [][]float64) {
 	in := x
 	last := len(m.Weights) - 1
+	// Reslice hints restating the validated geometry (len(acts) ==
+	// len(Weights)+1, one bias row per weight layer, len(out) ==
+	// w.Rows()): the layer bias is read through a flat row instead of a
+	// per-neuron double index, and the indexing is provably in bounds.
+	acts = acts[:len(m.Weights)+1]
+	biases := m.Biases[:len(m.Weights)]
 	for l, w := range m.Weights {
 		out := acts[l+1]
-		for r := 0; r < w.Rows(); r++ {
-			s := m.Biases[l][r]
-			row := w.Row(r)
+		bias := biases[l][:len(out)]
+		for r := range out {
+			s := bias[r]
+			row := w.Row(r)[:len(in)]
 			for c, v := range in {
 				s += row[c] * v
 			}

@@ -174,10 +174,12 @@ func (m *DPLogReg) PredictProba(x []float64) []float64 {
 	}
 	logits := make([]float64, m.classes)
 	for k := 0; k < m.classes; k++ {
-		row := m.W.Row(k)
+		// Reslice hints: W is classes x (dim+1) with the bias last.
+		row := m.W.Row(k)[:m.dim+1]
 		s := row[m.dim]
+		w := row[:len(x)]
 		for j, v := range x {
-			s += row[j] * v
+			s += w[j] * v
 		}
 		logits[k] = s
 	}

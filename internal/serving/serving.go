@@ -367,12 +367,16 @@ func (r *Runtime) execute(ln *line, batch []*item) {
 	}
 	r.met.batchSize.Observe(float64(len(batch)))
 	r.met.batchLatency.Observe(r.clk.Since(first).Seconds())
-	for i, it := range batch {
-		if err != nil {
+	if err != nil {
+		for _, it := range batch {
 			it.call.fail(err)
-		} else {
-			it.call.deliver(it.out, probs[i])
 		}
+		return
+	}
+	// Reslice hint: scoreBatch returns one row per item on success.
+	probs = probs[:len(batch)]
+	for i, it := range batch {
+		it.call.deliver(it.out, probs[i])
 	}
 }
 
